@@ -1,0 +1,452 @@
+// Package main holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (one benchmark per table/figure;
+// see DESIGN.md's per-experiment index), plus the ablation benchmarks
+// for the design decisions the paper discusses: the dispatcher vs
+// dispatcherless end-host stack (Section 4.8), LightningFilter vs a
+// legacy address filter (Section 4.7.1), and Hercules single-path vs
+// multipath striping.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/core"
+	"sciera/internal/dispatcher"
+	"sciera/internal/experiments"
+	"sciera/internal/multiping"
+	"sciera/internal/pan"
+	"sciera/internal/sciera"
+	"sciera/internal/simnet"
+	"sciera/internal/slayers"
+	"sciera/internal/topology"
+)
+
+// quickCfg keeps the per-iteration work bounded; the experiments binary
+// runs the full scale.
+var quickCfg = experiments.Config{Seed: 42, Quick: true}
+
+func BenchmarkTable1_PoPs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard)
+	}
+}
+
+func BenchmarkFig1_Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_DeploymentEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(io.Discard)
+	}
+}
+
+func BenchmarkFig4_Bootstrap(b *testing.B) {
+	// One full bootstrap (hint + config retrieval) per mechanism per
+	// OS profile, one run each.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4Runs(int64(i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// campaignForBench runs a small shared campaign once.
+func campaignForBench(b *testing.B) (*multiping.Dataset, *core.Network) {
+	b.Helper()
+	ds, n, err := experiments.RunCampaign(quickCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, n
+}
+
+func BenchmarkFig5_RTTCDF(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(io.Discard, ds)
+	}
+}
+
+func BenchmarkFig6_RTTRatio(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(io.Discard, ds)
+	}
+}
+
+func BenchmarkFig7_RatioOverTime(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(io.Discard, ds)
+	}
+}
+
+func BenchmarkFig8_ActivePaths(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8(io.Discard, ds)
+	}
+}
+
+func BenchmarkFig9_PathDeviation(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(io.Discard, ds, 12*time.Hour, 10*time.Minute)
+	}
+}
+
+func BenchmarkFig10a_LatencyInflation(b *testing.B) {
+	ds, n := campaignForBench(b)
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10a(io.Discard, ds)
+	}
+}
+
+func BenchmarkFig10b_Disjointness(b *testing.B) {
+	n, _, err := experiments.BuildNetwork(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10b(io.Discard, n)
+	}
+}
+
+func BenchmarkFig10c_LinkFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure10c(io.Discard, quickCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_HintMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard)
+	}
+}
+
+func BenchmarkEnablementTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.EnablementTable(io.Discard)
+	}
+}
+
+func BenchmarkSurveyTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SurveyTable(io.Discard)
+	}
+}
+
+// --- Ablations ---
+
+// benchNet builds a two-AS data plane on the simulator.
+func benchNet(b *testing.B, useDispatcher bool) (*core.Network, *simnet.Sim, addr.IA, addr.IA) {
+	b.Helper()
+	topo := topology.New()
+	a := addr.MustParseIA("71-1")
+	z := addr.MustParseIA("71-2")
+	if err := topo.AddAS(topology.ASInfo{IA: a, Core: true}); err != nil {
+		b.Fatal(err)
+	}
+	if err := topo.AddAS(topology.ASInfo{IA: z, Core: true}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := topo.AddLink(topology.LinkEnd{IA: a}, topology.LinkEnd{IA: z}, topology.LinkCore, 0.01, ""); err != nil {
+		b.Fatal(err)
+	}
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n, err := core.Build(topo, sim, core.Options{Seed: 1, UseDispatcher: useDispatcher, IntraASDelay: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n, sim, a, z
+}
+
+// benchDeliver measures end-to-end packet delivery through the full
+// serialized data plane, with and without the legacy dispatcher in the
+// receive path (the Section 4.8 ablation).
+func benchDeliver(b *testing.B, useDispatcher bool) {
+	n, sim, a, z := benchNet(b, useDispatcher)
+	defer n.Close()
+
+	var disp *dispatcher.Dispatcher
+	recvAddr := netip.AddrPortFrom(sim.AllocAddr(), 40000)
+	got := 0
+	if useDispatcher {
+		var err error
+		disp, err = dispatcher.Start(sim, sim.AllocAddr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer disp.Close()
+		appConn, err := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) { got++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := disp.Register(40000, appConn.LocalAddr()); err != nil {
+			b.Fatal(err)
+		}
+		disp.PerPacketWork = 1
+		recvAddr = netip.AddrPortFrom(disp.Addr().Addr(), 40000)
+	} else {
+		if _, err := sim.Listen(recvAddr, func([]byte, netip.AddrPort) { got++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	src, err := sim.Listen(netip.AddrPort{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rtrA, _ := n.Router(a)
+	paths := n.Paths(a, z)
+	if len(paths) == 0 {
+		b.Fatal("no path")
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: z, SrcIA: a,
+			DstHost: recvAddr.Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *paths[0].Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(raw, rtrA.LocalAddr()); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+func BenchmarkDispatcherDelivery(b *testing.B)     { benchDeliver(b, true) }
+func BenchmarkDispatcherlessDelivery(b *testing.B) { benchDeliver(b, false) }
+
+// BenchmarkRouterForwarding measures the pure router hot path: decode,
+// MAC verify, path advance, re-serialize, forward.
+func BenchmarkRouterForwarding(b *testing.B) {
+	n, sim, a, z := benchNet(b, false)
+	defer n.Close()
+	sink := 0
+	recv, err := sim.Listen(netip.AddrPortFrom(sim.AllocAddr(), 40000), func([]byte, netip.AddrPort) { sink++ })
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := sim.Listen(netip.AddrPort{}, nil)
+	rtrA, _ := n.Router(a)
+	paths := n.Paths(a, z)
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: z, SrcIA: a,
+			DstHost: recv.LocalAddr().Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *paths[0].Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, _ := pkt.Serialize(nil)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Send(raw, rtrA.LocalAddr())
+		sim.Run()
+	}
+}
+
+// BenchmarkPathLookup measures a daemon-style lookup+combination on the
+// full SCIERA control plane.
+func BenchmarkPathLookup(b *testing.B) {
+	n, _, err := experiments.BuildNetwork(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	src := addr.MustParseIA("71-225")    // UVa
+	dst := addr.MustParseIA("71-2:0:5c") // UFMS
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := n.Paths(src, dst); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkBeaconing measures a full control-plane convergence over the
+// SCIERA topology (what RefreshControlPlane costs after each incident).
+func BenchmarkBeaconing(b *testing.B) {
+	n, _, err := experiments.BuildNetwork(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.RefreshControlPlane(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeaconDiversity ablates the BestPerOrigin selection knob
+// (DESIGN.md "the Figure 8 diversity knob"): control-plane convergence
+// cost and resulting path diversity at 4/8/16/32 beacons per origin.
+func BenchmarkBeaconDiversity(b *testing.B) {
+	src := addr.MustParseIA("71-225")    // UVa
+	dst := addr.MustParseIA("71-2:0:5c") // UFMS
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("best=%d", k), func(b *testing.B) {
+			topo, err := sciera.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := simnet.NewSim(time.Unix(0, 0))
+			n, err := core.Build(topo, sim, core.Options{Seed: 42, BestPerOrigin: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.RefreshControlPlane(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(n.Paths(src, dst))), "paths")
+		})
+	}
+}
+
+// BenchmarkSCIERABringup measures the full network-in-a-box build.
+func BenchmarkSCIERABringup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo, err := sciera.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := simnet.NewSim(time.Unix(0, 0))
+		n, err := core.Build(topo, sim, core.Options{Seed: int64(i), BestPerOrigin: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Close()
+	}
+}
+
+// BenchmarkMultipingRound measures one measurement interval of the
+// campaign across all vantage pairs.
+func BenchmarkMultipingRound(b *testing.B) {
+	topo, err := sciera.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := simnet.NewSim(time.Unix(1_737_000_000, 0))
+	n, err := core.Build(topo, sim, core.Options{Seed: 42, BestPerOrigin: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	ipTopo, err := sciera.BuildIPPlane()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp, err := multiping.NewCampaign(n, multiping.Config{
+			Vantage:  sciera.VantageASes(),
+			Interval: time.Minute,
+			Duration: time.Minute,
+			IPRTT:    func(s, d addr.IA) float64 { return sciera.IPRTTms(ipTopo, s, d) },
+			Seed:     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := camp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		camp.Close()
+	}
+}
+
+// BenchmarkPanWriteTo measures the application-library send path
+// (lookup from cache + serialize + underlay send).
+func BenchmarkPanWriteTo(b *testing.B) {
+	n, sim, a, z := benchNet(b, false)
+	defer n.Close()
+	dA, err := n.NewDaemon(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := pan.WithDaemon(sim, dA)
+	conn, err := host.ListenUDP(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	dst := addr.UDPAddr{IA: z, Host: netip.AddrPortFrom(sim.AllocAddr(), 9)}
+	// Warm the path cache (the lookup RPC needs the sim loop to run).
+	var lerr error
+	dA.PathsAsync(z, func(_ []*combinator.Path, err error) { lerr = err })
+	sim.Run()
+	if lerr != nil {
+		b.Fatal(lerr)
+	}
+	payload := make([]byte, 1000)
+	b.SetBytes(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.WriteTo(payload, dst); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+}

@@ -1,0 +1,29 @@
+// Command bootstrapper runs the end-host bootstrapping benchmark: a
+// simulated campus LAN with every hinting mechanism enabled, timing
+// hint retrieval and configuration retrieval per mechanism and platform
+// (Figure 4's measurement).
+//
+//	bootstrapper              # 30 runs per mechanism per OS
+//	bootstrapper -runs 5      # quicker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sciera/internal/experiments"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 30, "runs per mechanism per OS")
+		seed = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Quick: *runs < 30}
+	if err := experiments.Figure4(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated SCIERA deployment.
+//
+// Usage:
+//
+//	experiments -all              # every experiment (full scale)
+//	experiments -run fig5         # one experiment
+//	experiments -quick -run fig6  # reduced scale for a fast look
+//	experiments -list             # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sciera/internal/experiments"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "run every experiment")
+		run   = flag.String("run", "", "run one experiment by name")
+		quick = flag.Bool("quick", false, "reduced scale (shorter campaign, fewer runs)")
+		seed  = flag.Int64("seed", 42, "random seed (fixed seeds reproduce EXPERIMENTS.md)")
+		list  = flag.Bool("list", false, "list experiment names")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	switch {
+	case *list:
+		fmt.Println(strings.Join(experiments.Names, "\n"))
+	case *all:
+		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *run != "":
+		if err := experiments.Run(os.Stdout, *run, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

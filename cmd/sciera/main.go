@@ -1,0 +1,175 @@
+// Command sciera brings up the full SCIERA deployment in-process on
+// real loopback UDP sockets and operates on it: list the topology, show
+// paths between ASes (like `scion showpaths`), and ping across the
+// network over the three multiping path types.
+//
+//	sciera -topo                         # AS and circuit inventory
+//	sciera -showpaths 71-225,71-2:0:5c   # paths UVa -> UFMS
+//	sciera -ping 71-20965,71-2:0:3b -n 4 # SCMP echo GEANT -> Daejeon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/core"
+	"sciera/internal/pan"
+	"sciera/internal/sciera"
+	"sciera/internal/scmp"
+	"sciera/internal/simnet"
+)
+
+func main() {
+	var (
+		topoFlag  = flag.Bool("topo", false, "print the deployment inventory")
+		showpaths = flag.String("showpaths", "", "show paths: <src-ia>,<dst-ia>")
+		ping      = flag.String("ping", "", "SCMP ping: <src-ia>,<dst-ia>")
+		trace     = flag.String("traceroute", "", "SCMP traceroute: <src-ia>,<dst-ia>")
+		count     = flag.Int("n", 3, "ping count")
+		seed      = flag.Int64("seed", 42, "control plane seed")
+	)
+	flag.Parse()
+
+	if *topoFlag {
+		printTopo()
+		return
+	}
+	if *showpaths == "" && *ping == "" && *trace == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	topo, err := sciera.Build()
+	fatal(err)
+	net := simnet.NewUDPNet()
+	defer net.Close()
+	fmt.Fprintln(os.Stderr, "building the SCIERA network on loopback UDP (29 ASes)...")
+	n, err := core.Build(topo, net, core.Options{Seed: *seed, BestPerOrigin: 14})
+	fatal(err)
+	defer n.Close()
+
+	if *showpaths != "" {
+		src, dst := parsePair(*showpaths)
+		paths := n.Paths(src, dst)
+		fmt.Printf("%d path(s) %s -> %s:\n", len(paths), src, dst)
+		for i, p := range paths {
+			kind := ""
+			if len(p.Raw.Infos) > 0 && p.Raw.Infos[0].Peer {
+				kind = " [peering]"
+			}
+			fmt.Printf("[%2d] %d hops, %.1f ms one-way, MTU %d%s\n     %s\n",
+				i, p.NumHops(), p.LatencyMS, p.MTU, kind, strings.ReplaceAll(p.Fingerprint, ">", " > "))
+		}
+	}
+
+	if *trace != "" {
+		src, dst := parsePair(*trace)
+		runTraceroute(n, src, dst)
+	}
+
+	if *ping != "" {
+		src, dst := parsePair(*ping)
+		paths := n.Paths(src, dst)
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no paths %s -> %s", src, dst))
+		}
+		resp, err := n.AttachResponder(dst)
+		fatal(err)
+		defer resp.Close()
+		pinger, err := n.NewPinger(src)
+		fatal(err)
+		defer pinger.Close()
+
+		// Ping over the three multiping path types in parallel, as the
+		// measurement tool does.
+		probes := []struct {
+			name string
+			path *combinator.Path
+		}{
+			{"shortest", pan.Shortest{}.Order(paths)[0]},
+			{"fastest", pan.Fastest{}.Order(paths)[0]},
+			{"disjoint", pan.MostDisjoint{}.Order(paths)[0]},
+		}
+		for i := 0; i < *count; i++ {
+			for _, pr := range probes {
+				rtt, err := pinger.PingSync(dst, resp.Addr().Addr(), pr.path, 5*time.Second)
+				if err != nil {
+					fmt.Printf("seq=%d %-8s: %v\n", i, pr.name, err)
+					continue
+				}
+				fmt.Printf("seq=%d %-8s rtt=%.3f ms  via %s\n",
+					i, pr.name, float64(rtt)/float64(time.Millisecond), pr.path.Fingerprint)
+			}
+		}
+	}
+}
+
+func runTraceroute(n *core.Network, src, dst addr.IA) {
+	paths := n.Paths(src, dst)
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no paths %s -> %s", src, dst))
+	}
+	pinger, err := n.NewPinger(src)
+	fatal(err)
+	defer pinger.Close()
+	done := make(chan struct{})
+	pinger.Traceroute(dst, paths[0], 3*time.Second, func(hops []scmp.Hop, err error) {
+		defer close(done)
+		fatal(err)
+		fmt.Printf("traceroute %s -> %s over %s\n", src, dst, paths[0].Fingerprint)
+		for i, h := range hops {
+			if h.IA == 0 {
+				fmt.Printf("%2d  *\n", i+1)
+				continue
+			}
+			fmt.Printf("%2d  %-12s if=%d  %.3f ms\n", i+1, h.IA, h.IfID,
+				float64(h.RTT)/float64(time.Millisecond))
+		}
+	})
+	<-done
+}
+
+func parsePair(s string) (addr.IA, addr.IA) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("expected <src-ia>,<dst-ia>, got %q", s))
+	}
+	src, err := addr.ParseIA(parts[0])
+	fatal(err)
+	dst, err := addr.ParseIA(parts[1])
+	fatal(err)
+	return src, dst
+}
+
+func printTopo() {
+	fmt.Println("SCIERA deployment (Figure 1):")
+	for _, s := range sciera.Sites() {
+		role := "    "
+		if s.Core {
+			role = "CORE"
+		}
+		joined := "under construction"
+		if !s.Joined.IsZero() {
+			joined = s.Joined.Format("2006-01")
+		}
+		fmt.Printf("  %s %-18s %-12s %-5s joined %s\n", role, s.Name, s.IA, s.Region, joined)
+	}
+	topo, err := sciera.Build()
+	fatal(err)
+	fmt.Printf("\n%d circuits:\n", len(topo.Links()))
+	for _, l := range topo.Links() {
+		fmt.Printf("  %-45s %-7s %6.1f ms\n", l.Name, l.Type, l.LatencyMS)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

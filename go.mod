@@ -1,0 +1,3 @@
+module sciera
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package addr implements SCION addressing: isolation domain (ISD)
+// identifiers, AS numbers in both BGP-style decimal and SCION-style
+// colon-separated hexadecimal notation, and the combined ISD-AS (IA)
+// identifier used throughout the control and data planes.
+//
+// The formats follow the SCION addressing specification as deployed in
+// SCIERA: an IA is written "<isd>-<as>", e.g. "71-2:0:3b" for a SCION-style
+// AS in ISD 71, or "71-559" for a BGP-compatible AS number.
+package addr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ISD is a SCION isolation domain identifier. ISD 0 is the wildcard.
+type ISD uint16
+
+// AS is a SCION AS number. Only the lower 48 bits are significant.
+// Values below 2^32 are BGP-compatible AS numbers and are formatted in
+// decimal; larger values are formatted as three colon-separated groups of
+// 16 bits in lowercase hexadecimal (e.g. "2:0:3b").
+type AS uint64
+
+const (
+	// ASBits is the number of significant bits in an AS number.
+	ASBits = 48
+	// MaxAS is the largest representable AS number.
+	MaxAS AS = (1 << ASBits) - 1
+	// MaxBGPAS is the largest AS number rendered in BGP decimal notation.
+	MaxBGPAS AS = (1 << 32) - 1
+)
+
+// WildcardISD and WildcardAS match any ISD/AS in path lookups.
+const (
+	WildcardISD ISD = 0
+	WildcardAS  AS  = 0
+)
+
+// ParseISD parses a decimal ISD identifier.
+func ParseISD(s string) (ISD, error) {
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("addr: parsing ISD %q: %w", s, err)
+	}
+	return ISD(v), nil
+}
+
+func (isd ISD) String() string {
+	return strconv.FormatUint(uint64(isd), 10)
+}
+
+// ParseAS parses an AS number in either BGP decimal ("559") or SCION
+// colon-separated hexadecimal ("2:0:3b") notation.
+func ParseAS(s string) (AS, error) {
+	if !strings.Contains(s, ":") {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("addr: parsing AS %q: %w", s, err)
+		}
+		if AS(v) > MaxBGPAS {
+			return 0, fmt.Errorf("addr: BGP-style AS %q exceeds 2^32-1", s)
+		}
+		return AS(v), nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("addr: SCION-style AS %q must have 3 groups", s)
+	}
+	var as AS
+	for _, p := range parts {
+		if len(p) == 0 || len(p) > 4 {
+			return 0, fmt.Errorf("addr: AS group %q in %q must be 1-4 hex digits", p, s)
+		}
+		v, err := strconv.ParseUint(p, 16, 16)
+		if err != nil {
+			return 0, fmt.Errorf("addr: parsing AS group %q in %q: %w", p, s, err)
+		}
+		as = as<<16 | AS(v)
+	}
+	return as, nil
+}
+
+func (as AS) String() string {
+	if !as.Valid() {
+		return fmt.Sprintf("%d [invalid AS]", uint64(as))
+	}
+	if as <= MaxBGPAS {
+		return strconv.FormatUint(uint64(as), 10)
+	}
+	return fmt.Sprintf("%x:%x:%x",
+		uint16(as>>32), uint16(as>>16), uint16(as))
+}
+
+// Valid reports whether the AS number fits in 48 bits.
+func (as AS) Valid() bool { return as <= MaxAS }
+
+// IA is a combined ISD-AS identifier, packed as isd<<48 | as.
+type IA uint64
+
+// MustIA builds an IA and panics if the AS is out of range. It is intended
+// for statically-known identifiers such as topology literals.
+func MustIA(isd ISD, as AS) IA {
+	ia, err := NewIA(isd, as)
+	if err != nil {
+		panic(err)
+	}
+	return ia
+}
+
+// NewIA builds an IA from its components.
+func NewIA(isd ISD, as AS) (IA, error) {
+	if !as.Valid() {
+		return 0, fmt.Errorf("addr: AS %d out of range", uint64(as))
+	}
+	return IA(uint64(isd)<<ASBits | uint64(as)), nil
+}
+
+// ParseIA parses "<isd>-<as>", e.g. "71-2:0:3b".
+func ParseIA(s string) (IA, error) {
+	isdStr, asStr, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, fmt.Errorf("addr: IA %q missing '-' separator", s)
+	}
+	isd, err := ParseISD(isdStr)
+	if err != nil {
+		return 0, err
+	}
+	as, err := ParseAS(asStr)
+	if err != nil {
+		return 0, err
+	}
+	return NewIA(isd, as)
+}
+
+// MustParseIA parses an IA literal and panics on error.
+func MustParseIA(s string) IA {
+	ia, err := ParseIA(s)
+	if err != nil {
+		panic(err)
+	}
+	return ia
+}
+
+// ISD returns the isolation domain component.
+func (ia IA) ISD() ISD { return ISD(ia >> ASBits) }
+
+// AS returns the AS number component.
+func (ia IA) AS() AS { return AS(ia) & MaxAS }
+
+func (ia IA) String() string {
+	return ia.ISD().String() + "-" + ia.AS().String()
+}
+
+// IsZero reports whether the IA is the zero value.
+func (ia IA) IsZero() bool { return ia == 0 }
+
+// IsWildcard reports whether either component is a wildcard.
+func (ia IA) IsWildcard() bool {
+	return ia.ISD() == WildcardISD || ia.AS() == WildcardAS
+}
+
+// Equal reports component-wise equality honouring wildcards: a wildcard
+// ISD or AS on either side matches anything.
+func (ia IA) Matches(other IA) bool {
+	isdOK := ia.ISD() == WildcardISD || other.ISD() == WildcardISD || ia.ISD() == other.ISD()
+	asOK := ia.AS() == WildcardAS || other.AS() == WildcardAS || ia.AS() == other.AS()
+	return isdOK && asOK
+}
+
+// PutIA writes the 8-byte big-endian encoding of ia into b.
+func PutIA(b []byte, ia IA) { binary.BigEndian.PutUint64(b, uint64(ia)) }
+
+// GetIA reads an IA from the first 8 bytes of b.
+func GetIA(b []byte) IA { return IA(binary.BigEndian.Uint64(b)) }
+
+// MarshalText implements encoding.TextMarshaler.
+func (ia IA) MarshalText() ([]byte, error) { return []byte(ia.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (ia *IA) UnmarshalText(b []byte) error {
+	v, err := ParseIA(string(b))
+	if err != nil {
+		return err
+	}
+	*ia = v
+	return nil
+}
+
+// UDPAddr is a full SCION/UDP end-host address: the AS the host lives in
+// plus its AS-local IP:port. The IP is only meaningful inside the AS
+// (SCION uses IP as an intra-AS "layer 2.5" underlay).
+type UDPAddr struct {
+	IA   IA
+	Host netip.AddrPort
+}
+
+// ParseUDPAddr parses "<isd>-<as>,<ip>:<port>", e.g.
+// "71-2:0:3b,192.168.1.7:31000" or "71-559,[::1]:443".
+func ParseUDPAddr(s string) (UDPAddr, error) {
+	iaStr, hostStr, ok := strings.Cut(s, ",")
+	if !ok {
+		return UDPAddr{}, fmt.Errorf("addr: UDP address %q missing ',' separator", s)
+	}
+	ia, err := ParseIA(iaStr)
+	if err != nil {
+		return UDPAddr{}, err
+	}
+	host, err := netip.ParseAddrPort(hostStr)
+	if err != nil {
+		return UDPAddr{}, fmt.Errorf("addr: parsing host of %q: %w", s, err)
+	}
+	return UDPAddr{IA: ia, Host: host}, nil
+}
+
+// MustParseUDPAddr parses a UDP address literal and panics on error.
+func MustParseUDPAddr(s string) UDPAddr {
+	a, err := ParseUDPAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a UDPAddr) String() string {
+	return a.IA.String() + "," + a.Host.String()
+}
+
+// Network implements net.Addr.
+func (a UDPAddr) Network() string { return "scion+udp" }
+
+// IsValid reports whether both the IA and the host part are set.
+func (a UDPAddr) IsValid() bool { return !a.IA.IsZero() && a.Host.IsValid() }
+
+// SVC is an anycast service address resolved by the local AS
+// infrastructure (control service, bootstrap server, ...).
+type SVC uint16
+
+// Well-known service addresses.
+const (
+	SvcNone      SVC = 0x0000
+	SvcControl   SVC = 0x0001 // control service (beacon/path/cert server)
+	SvcBootstrap SVC = 0x0002 // bootstrapping server
+	SvcCA        SVC = 0x0003 // certificate authority
+)
+
+func (s SVC) String() string {
+	switch s {
+	case SvcNone:
+		return "NONE"
+	case SvcControl:
+		return "CS"
+	case SvcBootstrap:
+		return "BS"
+	case SvcCA:
+		return "CA"
+	default:
+		return fmt.Sprintf("SVC(%#04x)", uint16(s))
+	}
+}

@@ -1,0 +1,228 @@
+package addr
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAS(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AS
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"559", 559, true},
+		{"4294967295", MaxBGPAS, true},
+		{"4294967296", 0, false}, // BGP notation must fit 32 bits
+		{"2:0:3b", 0x2_0000_003b, true},
+		{"0:0:0", 0, true},
+		{"ffff:ffff:ffff", MaxAS, true},
+		{"2:0", 0, false},
+		{"2:0:3b:1", 0, false},
+		{"2:0:zz", 0, false},
+		{"2:0:12345", 0, false},
+		{"2:0:", 0, false},
+		{"-1", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAS(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseAS(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseAS(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseAS(%q) = %#x, want %#x", c.in, uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestASString(t *testing.T) {
+	cases := []struct {
+		as   AS
+		want string
+	}{
+		{559, "559"},
+		{0, "0"},
+		{MaxBGPAS, "4294967295"},
+		{MaxBGPAS + 1, "1:0:0"},
+		{0x2_0000_003b, "2:0:3b"},
+		{MaxAS, "ffff:ffff:ffff"},
+	}
+	for _, c := range cases {
+		if got := c.as.String(); got != c.want {
+			t.Errorf("AS(%#x).String() = %q, want %q", uint64(c.as), got, c.want)
+		}
+	}
+}
+
+func TestASRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		as := AS(v) & MaxAS
+		got, err := ParseAS(as.String())
+		return err == nil && got == as
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIA(t *testing.T) {
+	ia, err := ParseIA("71-2:0:3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.ISD() != 71 || ia.AS() != 0x2_0000_003b {
+		t.Fatalf("got ISD %d AS %#x", ia.ISD(), uint64(ia.AS()))
+	}
+	if s := ia.String(); s != "71-2:0:3b" {
+		t.Fatalf("String() = %q", s)
+	}
+	for _, bad := range []string{"", "71", "71-", "-559", "71-2:0", "99999-1", "71-2:0:3b-1"} {
+		if _, err := ParseIA(bad); err == nil {
+			t.Errorf("ParseIA(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		ia := MustIA(ISD(rng.Intn(1<<16)), AS(rng.Int63())&MaxAS)
+		got, err := ParseIA(ia.String())
+		if err != nil || got != ia {
+			t.Fatalf("round trip %v: got %v, err %v", ia, got, err)
+		}
+	}
+}
+
+func TestIABinary(t *testing.T) {
+	ia := MustParseIA("71-2:0:3b")
+	var b [8]byte
+	PutIA(b[:], ia)
+	if got := GetIA(b[:]); got != ia {
+		t.Fatalf("binary round trip: got %v want %v", got, ia)
+	}
+}
+
+func TestIAMatches(t *testing.T) {
+	a := MustParseIA("71-559")
+	cases := []struct {
+		other string
+		want  bool
+	}{
+		{"71-559", true},
+		{"71-560", false},
+		{"64-559", false},
+		{"0-559", true}, // wildcard ISD
+		{"71-0", true},  // wildcard AS
+		{"0-0", true},   // full wildcard
+		{"64-0", false}, // wrong ISD, wildcard AS
+	}
+	for _, c := range cases {
+		if got := a.Matches(MustParseIA(c.other)); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", a, c.other, got, c.want)
+		}
+	}
+}
+
+func TestIAJSON(t *testing.T) {
+	type wrap struct {
+		IA IA `json:"ia"`
+	}
+	in := wrap{IA: MustParseIA("71-2:0:5c")}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"ia":"71-2:0:5c"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var out wrap
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.IA != in.IA {
+		t.Fatalf("unmarshal = %v, want %v", out.IA, in.IA)
+	}
+}
+
+func TestParseUDPAddr(t *testing.T) {
+	a, err := ParseUDPAddr("71-2:0:3b,192.168.1.7:31000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IA != MustParseIA("71-2:0:3b") {
+		t.Errorf("IA = %v", a.IA)
+	}
+	if a.Host != netip.MustParseAddrPort("192.168.1.7:31000") {
+		t.Errorf("Host = %v", a.Host)
+	}
+	if got := a.String(); got != "71-2:0:3b,192.168.1.7:31000" {
+		t.Errorf("String() = %q", got)
+	}
+	if a.Network() != "scion+udp" {
+		t.Errorf("Network() = %q", a.Network())
+	}
+	if !a.IsValid() {
+		t.Error("IsValid() = false")
+	}
+
+	v6, err := ParseUDPAddr("71-559,[::1]:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v6.Host.Addr().Is6() {
+		t.Errorf("expected IPv6 host, got %v", v6.Host)
+	}
+
+	for _, bad := range []string{"", "71-559", "71-559,1.2.3.4", "bogus,1.2.3.4:80"} {
+		if _, err := ParseUDPAddr(bad); err == nil {
+			t.Errorf("ParseUDPAddr(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNewIARange(t *testing.T) {
+	if _, err := NewIA(1, MaxAS+1); err == nil {
+		t.Error("NewIA accepted AS out of range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIA did not panic on invalid AS")
+		}
+	}()
+	MustIA(1, MaxAS+1)
+}
+
+func TestSVCString(t *testing.T) {
+	cases := map[SVC]string{
+		SvcNone:      "NONE",
+		SvcControl:   "CS",
+		SvcBootstrap: "BS",
+		SvcCA:        "CA",
+		SVC(0x1234):  "SVC(0x1234)",
+	}
+	for svc, want := range cases {
+		if got := svc.String(); got != want {
+			t.Errorf("SVC(%d).String() = %q, want %q", svc, got, want)
+		}
+	}
+}
+
+func TestInvalidASString(t *testing.T) {
+	s := (MaxAS + 1).String()
+	if s == "" {
+		t.Error("invalid AS should still format")
+	}
+}

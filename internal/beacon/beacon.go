@@ -1,0 +1,148 @@
+// Package beacon implements SCION path exploration ("beaconing"): core
+// ASes originate path-construction beacons (PCBs), neighbors extend and
+// re-propagate them, and every AS keeps a bounded store of the best
+// beacons per origin. Terminating a stored beacon yields a registrable
+// path segment.
+package beacon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sciera/internal/addr"
+	"sciera/internal/segment"
+)
+
+// DefaultBestPerOrigin bounds how many beacons an AS keeps per origin
+// core AS. Higher values increase path diversity at the cost of control
+// plane state — SCIERA tunes this up to surface its multipath richness
+// (Figure 8 reports up to 113 active paths for one AS pair).
+const DefaultBestPerOrigin = 24
+
+// DefaultMaxExtraLen bounds how much longer than the shortest known
+// beacon a kept beacon may be (in AS hops). Without it, selection
+// retains around-the-globe detours whose distant-link failures would
+// perturb path sets between unrelated ASes.
+const DefaultMaxExtraLen = 3
+
+// Entry is a stored beacon: the segment as received plus the ingress
+// interface it arrived on.
+type Entry struct {
+	Seg    *segment.Segment
+	RecvIf uint16
+}
+
+// Store keeps the best beacons per origin core AS. It is safe for
+// concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	limit    int
+	extraLen int
+	byOrigin map[addr.IA][]*Entry
+	seen     map[string]bool
+}
+
+// NewStore creates a beacon store keeping up to limit beacons per origin
+// (DefaultBestPerOrigin when limit <= 0), each within DefaultMaxExtraLen
+// hops of the shortest kept beacon.
+func NewStore(limit int) *Store {
+	if limit <= 0 {
+		limit = DefaultBestPerOrigin
+	}
+	return &Store{
+		limit:    limit,
+		extraLen: DefaultMaxExtraLen,
+		byOrigin: make(map[addr.IA][]*Entry),
+		seen:     make(map[string]bool),
+	}
+}
+
+// Insert adds a beacon if it improves the per-origin selection. It
+// returns true when the beacon was newly accepted (and should therefore
+// be propagated further). Beacons are identified by their route (AS and
+// interface sequence): a re-beaconed segment over a known route
+// replaces nothing and is not re-propagated, keeping selection — and
+// therefore the network's path sets — stable across beacon intervals.
+func (s *Store) Insert(seg *segment.Segment, recvIf uint16) bool {
+	if seg.Len() == 0 {
+		return false
+	}
+	id := seg.RouteID()
+	origin := seg.FirstIA()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[id] {
+		return false
+	}
+	entries := append(s.byOrigin[origin], &Entry{Seg: seg, RecvIf: recvIf})
+	sortEntries(entries)
+	// Enforce the per-origin count limit and the relative length
+	// window (entries are sorted shortest-first).
+	accepted := true
+	maxLen := entries[0].Seg.Len() + s.extraLen
+	kept := entries[:0]
+	for _, e := range entries {
+		if len(kept) >= s.limit || e.Seg.Len() > maxLen {
+			if e.Seg.RouteID() == id {
+				accepted = false
+			} else {
+				delete(s.seen, e.Seg.RouteID())
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.byOrigin[origin] = kept
+	if accepted {
+		s.seen[id] = true
+	}
+	return accepted
+}
+
+// sortEntries ranks beacons: shorter AS paths first, then by the stable
+// route identifier so selection is deterministic across re-beaconing.
+// Keeping several short-but-distinct beacons (rather than one) is what
+// preserves multipath choice.
+func sortEntries(entries []*Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Seg, entries[j].Seg
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
+		}
+		return a.RouteID() < b.RouteID()
+	})
+}
+
+// Best returns the stored beacons for one origin, best first.
+func (s *Store) Best(origin addr.IA) []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Entry(nil), s.byOrigin[origin]...)
+}
+
+// All returns every stored beacon grouped by origin.
+func (s *Store) All() map[addr.IA][]*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[addr.IA][]*Entry, len(s.byOrigin))
+	for ia, es := range s.byOrigin {
+		out[ia] = append([]*Entry(nil), es...)
+	}
+	return out
+}
+
+// Len returns the total number of stored beacons.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, es := range s.byOrigin {
+		n += len(es)
+	}
+	return n
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("beacon.Store{%d beacons}", s.Len())
+}

@@ -1,0 +1,171 @@
+package beacon
+
+import (
+	"fmt"
+	"testing"
+
+	"sciera/internal/addr"
+	"sciera/internal/scrypto"
+	"sciera/internal/segment"
+)
+
+var (
+	origin = addr.MustParseIA("71-1")
+	mid    = addr.MustParseIA("71-2")
+	leaf   = addr.MustParseIA("71-10")
+)
+
+func key(ia addr.IA) scrypto.HopKey { return scrypto.DeriveHopKey([]byte(ia.String()), 0) }
+
+// makeSeg builds origin -> mid (-> leaf if long) with a distinguishing
+// origin egress interface so the routes differ (selection deduplicates
+// by route, not by accumulator).
+func makeSeg(t *testing.T, route uint16, long bool) *segment.Segment {
+	t.Helper()
+	s, err := segment.Originate(100, 7, origin, route, mid, 5, 63, key(origin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := addr.IA(0)
+	if long {
+		next = leaf
+	}
+	if err := s.Extend(segment.ASEntry{IA: mid, Next: next, Ingress: 2, Egress: egressFor(long), ExpTime: 63}, key(mid)); err != nil {
+		t.Fatal(err)
+	}
+	if long {
+		if err := s.Extend(segment.ASEntry{IA: leaf, Ingress: 4, ExpTime: 63}, key(leaf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func egressFor(long bool) uint16 {
+	if long {
+		return 3
+	}
+	return 0
+}
+
+func TestStoreInsertDedup(t *testing.T) {
+	s := NewStore(4)
+	seg1 := makeSeg(t, 1, false)
+	if !s.Insert(seg1, 2) {
+		t.Fatal("first insert rejected")
+	}
+	if s.Insert(seg1, 2) {
+		t.Error("duplicate accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if got := s.Best(origin); len(got) != 1 || got[0].RecvIf != 2 {
+		t.Errorf("Best = %+v", got)
+	}
+}
+
+func TestStoreSelectionPrefersShort(t *testing.T) {
+	s := NewStore(2)
+	long1 := makeSeg(t, 1, true)
+	long2 := makeSeg(t, 2, true)
+	short := makeSeg(t, 3, false)
+	if !s.Insert(long1, 1) || !s.Insert(long2, 1) {
+		t.Fatal("inserts rejected")
+	}
+	// Store full of long beacons; a shorter one must displace one.
+	if !s.Insert(short, 1) {
+		t.Fatal("shorter beacon rejected by full store")
+	}
+	best := s.Best(origin)
+	if len(best) != 2 {
+		t.Fatalf("best = %d", len(best))
+	}
+	if best[0].Seg.Len() != 2 {
+		t.Errorf("best beacon has %d entries, want the short one first", best[0].Seg.Len())
+	}
+	// Another long beacon competes only with the remaining long one
+	// (same length, route-hash tie-break); whatever the outcome, the
+	// short beacon stays first and the limit holds.
+	long3 := makeSeg(t, 4, true)
+	_ = s.Insert(long3, 1)
+	best = s.Best(origin)
+	if len(best) != 2 || best[0].Seg.Len() != 2 {
+		t.Fatalf("selection invariants violated: %d entries, first len %d",
+			len(best), best[0].Seg.Len())
+	}
+	// The short beacon can never be displaced by a long one.
+	long4 := makeSeg(t, 5, true)
+	_ = s.Insert(long4, 1)
+	if s.Best(origin)[0].Seg.Len() != 2 {
+		t.Error("short beacon displaced by longer one")
+	}
+	// Evicted beacons are re-insertable into a fresh store (the seen
+	// set must not leak).
+	s2 := NewStore(4)
+	if !s2.Insert(long3, 1) {
+		t.Error("beacon not insertable into fresh store")
+	}
+}
+
+func TestStoreDefaults(t *testing.T) {
+	s := NewStore(0)
+	if s.limit != DefaultBestPerOrigin {
+		t.Errorf("default limit = %d", s.limit)
+	}
+	if s.Insert(&segment.Segment{}, 0) {
+		t.Error("empty segment accepted")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+	all := s.All()
+	if len(all) != 0 {
+		t.Errorf("All on empty store = %v", all)
+	}
+}
+
+func TestStorePerOriginLimits(t *testing.T) {
+	s := NewStore(3)
+	// Insert beacons from two different origins; limits are per origin.
+	for i := 0; i < 5; i++ {
+		seg, err := segment.Originate(100, 7, origin, uint16(i+1), mid, 5, 63, key(origin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seg.Extend(segment.ASEntry{IA: mid, Ingress: 2, ExpTime: 63}, key(mid)); err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(seg, 1)
+	}
+	other := addr.MustParseIA("71-3")
+	for i := 0; i < 5; i++ {
+		seg, err := segment.Originate(100, 7, other, uint16(i+1), mid, 5, 63, key(other))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seg.Extend(segment.ASEntry{IA: mid, Ingress: 2, ExpTime: 63}, key(mid)); err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(seg, 1)
+	}
+	if len(s.Best(origin)) != 3 || len(s.Best(other)) != 3 {
+		t.Errorf("per-origin best = %d / %d", len(s.Best(origin)), len(s.Best(other)))
+	}
+	if s.Len() != 6 {
+		t.Errorf("total = %d", s.Len())
+	}
+}
+
+func TestRunnerRequiresRng(t *testing.T) {
+	r := &Runner{}
+	if _, err := r.Run(); err == nil {
+		t.Error("Run without Rng accepted")
+	}
+}
+
+func ExampleStore() {
+	s := NewStore(8)
+	fmt.Println(s.Len())
+	// Output: 0
+}

@@ -1,0 +1,330 @@
+package beacon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sciera/internal/addr"
+	"sciera/internal/cppki"
+	"sciera/internal/pathdb"
+	"sciera/internal/scrypto"
+	"sciera/internal/segment"
+	"sciera/internal/topology"
+)
+
+// KeyProvider resolves an AS's hop-field key. In the real deployment
+// each AS only knows its own key; the runner is a whole-network driver,
+// so it gets a resolver.
+type KeyProvider func(ia addr.IA) scrypto.HopKey
+
+// SignerProvider resolves the AS's control-plane signer; returning nil
+// disables signing (simulation-scale campaigns skip the per-entry ECDSA
+// cost, the live network signs everything).
+type SignerProvider func(ia addr.IA) *cppki.Signer
+
+// Runner executes deterministic synchronous beaconing rounds over a
+// topology, producing the segment registries the path lookup
+// infrastructure serves. The control service drives the same logic over
+// real messages; the runner is used at network bring-up and by the
+// discrete-event campaigns, where re-running it after every topology
+// change recomputes the control-plane state (as the periodic PCB
+// origination interval would).
+type Runner struct {
+	Topo    *topology.Topology
+	Keys    KeyProvider
+	Signers SignerProvider // optional
+	// Timestamp stamps originated segments (Unix seconds).
+	Timestamp uint32
+	// BestPerOrigin bounds beacon stores (DefaultBestPerOrigin if 0).
+	BestPerOrigin int
+	// MaxRounds bounds propagation (default: #ASes + 2).
+	MaxRounds int
+	// ExpTime is the relative hop expiry (default 63 ≈ 6h).
+	ExpTime uint8
+	// Rng drives beta0 randomization; required for determinism.
+	Rng *rand.Rand
+}
+
+// Registry holds the outcome of a beaconing run: the segment databases
+// that the path-lookup infrastructure serves.
+type Registry struct {
+	// Up holds, per non-core AS, the up segments it registered locally
+	// (stored as Down-type segments: core → AS).
+	Up map[addr.IA]*pathdb.DB
+	// Core holds core segments (origin core → terminating core),
+	// queryable at any core control service.
+	Core *pathdb.DB
+	// Down holds down segments registered at the core path server
+	// infrastructure, keyed by (origin core, leaf).
+	Down *pathdb.DB
+}
+
+// Run performs core beaconing and intra-ISD (down) beaconing to a fixed
+// point and returns the resulting registries.
+func (r *Runner) Run() (*Registry, error) {
+	if r.Rng == nil {
+		return nil, fmt.Errorf("beacon: Runner requires an explicit Rng")
+	}
+	if r.ExpTime == 0 {
+		r.ExpTime = 63
+	}
+	if r.MaxRounds == 0 {
+		r.MaxRounds = len(r.Topo.ASes()) + 2
+	}
+	reg := &Registry{
+		Up:   make(map[addr.IA]*pathdb.DB),
+		Core: pathdb.New(),
+		Down: pathdb.New(),
+	}
+	for _, as := range r.Topo.ASes() {
+		if !as.Core {
+			reg.Up[as.IA] = pathdb.New()
+		}
+	}
+	if err := r.runCore(reg); err != nil {
+		return nil, err
+	}
+	if err := r.runDown(reg); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// originate creates a fresh PCB leaving origin over link l.
+func (r *Runner) originate(origin addr.IA, l *topology.Link) (*segment.Segment, error) {
+	local, _ := l.Local(origin)
+	remote, _ := l.Other(origin)
+	seg, err := segment.Originate(r.Timestamp, uint16(r.Rng.Intn(1<<16)), origin,
+		local.IfID, remote.IA, l.LatencyMS, r.ExpTime, r.Keys(origin))
+	if err != nil {
+		return nil, err
+	}
+	if r.Signers != nil {
+		if signer := r.Signers(origin); signer != nil {
+			if err := seg.SignLast(signer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return seg, nil
+}
+
+// extend appends the entry of 'at' to a received beacon and prepares it
+// to leave over link out (or terminate if out is nil).
+func (r *Runner) extend(seg *segment.Segment, at addr.IA, inIf uint16, out *topology.Link) (*segment.Segment, error) {
+	ext := seg.Clone()
+	e := segment.ASEntry{IA: at, Ingress: inIf, ExpTime: r.ExpTime}
+	if out != nil {
+		local, _ := out.Local(at)
+		remote, _ := out.Other(at)
+		e.Egress = local.IfID
+		e.Next = remote.IA
+		e.LinkLatencyMS = out.LatencyMS
+	}
+	if info, ok := r.Topo.AS(at); ok {
+		e.MTU = info.MTU
+	}
+	if err := ext.Extend(e, r.Keys(at)); err != nil {
+		return nil, err
+	}
+	// Advertise peering links so the combinator can build peer
+	// shortcuts. The peer-crossing MAC covers the accumulator after
+	// this AS's own entry.
+	appended := &ext.ASEntries[len(ext.ASEntries)-1]
+	for _, pl := range r.Topo.UpLinksOf(at) {
+		if pl.Type != topology.LinkPeer {
+			continue
+		}
+		local, _ := pl.Local(at)
+		remote, _ := pl.Other(at)
+		mac, err := scrypto.ComputeHopMAC(r.Keys(at), scrypto.HopMACInput{
+			Beta:        ext.BetaFinal(),
+			Timestamp:   ext.Timestamp,
+			ExpTime:     r.ExpTime,
+			ConsIngress: local.IfID,
+			ConsEgress:  appended.Egress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		appended.Peers = append(appended.Peers, segment.PeerEntry{
+			Peer:          remote.IA,
+			PeerIf:        remote.IfID,
+			LocalIf:       local.IfID,
+			LinkLatencyMS: pl.LatencyMS,
+			ExpTime:       r.ExpTime,
+			MAC:           mac,
+		})
+	}
+	if r.Signers != nil {
+		if signer := r.Signers(at); signer != nil {
+			if err := ext.SignLast(signer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ext, nil
+}
+
+// runCore floods core PCBs across the core mesh. Every core AS
+// accumulates beacons from every other core origin; terminating a beacon
+// registers a core segment origin→self.
+func (r *Runner) runCore(reg *Registry) error {
+	cores := r.Topo.CoreASes()
+	stores := make(map[addr.IA]*Store, len(cores))
+	for _, ia := range cores {
+		stores[ia] = NewStore(r.BestPerOrigin)
+	}
+
+	// inFlight beacons: (segment prepared to cross link) tuples.
+	type flight struct {
+		seg *segment.Segment
+		l   *topology.Link
+		to  addr.IA
+	}
+	var flights []flight
+
+	commercial := func(ia addr.IA) bool {
+		info, ok := r.Topo.AS(ia)
+		return ok && info.Commercial
+	}
+
+	// Origination: one PCB per core link direction.
+	for _, origin := range cores {
+		for _, l := range r.Topo.UpLinksOf(origin) {
+			if l.Type != topology.LinkCore {
+				continue
+			}
+			seg, err := r.originate(origin, l)
+			if err != nil {
+				return err
+			}
+			other, _ := l.Other(origin)
+			flights = append(flights, flight{seg: seg, l: l, to: other.IA})
+		}
+	}
+
+	for round := 0; round < r.MaxRounds && len(flights) > 0; round++ {
+		var next []flight
+		for _, f := range flights {
+			inEnd, _ := f.l.Other(f.seg.ASEntries[len(f.seg.ASEntries)-1].IA)
+			if inEnd.IA != f.to {
+				return fmt.Errorf("beacon: internal: flight misrouted")
+			}
+			if !stores[f.to].Insert(f.seg, inEnd.IfID) {
+				continue
+			}
+			// Propagate onward over every other up core link whose far
+			// end is not already on the path.
+			for _, l := range r.Topo.UpLinksOf(f.to) {
+				if l.Type != topology.LinkCore || l.ID == f.l.ID {
+					continue
+				}
+				other, _ := l.Other(f.to)
+				if f.seg.ContainsIA(other.IA) {
+					continue
+				}
+				// No-commercial-transit policy (Section 4.9): a beacon
+				// originated by a commercial provider may terminate at
+				// another commercial provider, but the academic
+				// network never advertises paths that would carry
+				// commercial-to-commercial transit. Such a beacon is
+				// registrable at f.to but not extended further toward
+				// commercial peers.
+				if commercial(f.seg.FirstIA()) && commercial(other.IA) {
+					continue
+				}
+				ext, err := r.extend(f.seg, f.to, inEnd.IfID, l)
+				if err != nil {
+					return err
+				}
+				next = append(next, flight{seg: ext, l: l, to: other.IA})
+			}
+		}
+		flights = next
+	}
+
+	// Registration: terminate every stored beacon into a core segment.
+	for ia, store := range stores {
+		for _, es := range store.All() {
+			for _, e := range es {
+				term, err := r.extend(e.Seg, ia, e.RecvIf, nil)
+				if err != nil {
+					return err
+				}
+				reg.Core.Insert(term)
+			}
+		}
+	}
+	return nil
+}
+
+// runDown floods intra-ISD PCBs from core ASes down parent links. Every
+// non-core AS registers terminated beacons locally (up segments) and at
+// the origin core's path server (down segments) — in this whole-network
+// driver both registries are views over the same segment set.
+func (r *Runner) runDown(reg *Registry) error {
+	type flight struct {
+		seg *segment.Segment
+		l   *topology.Link
+		to  addr.IA
+	}
+	var flights []flight
+	stores := make(map[addr.IA]*Store)
+	for _, as := range r.Topo.ASes() {
+		if !as.Core {
+			stores[as.IA] = NewStore(r.BestPerOrigin)
+		}
+	}
+
+	for _, origin := range r.Topo.CoreASes() {
+		for _, l := range r.Topo.Children(origin) {
+			if !r.Topo.LinkUp(l.ID) {
+				continue
+			}
+			seg, err := r.originate(origin, l)
+			if err != nil {
+				return err
+			}
+			flights = append(flights, flight{seg: seg, l: l, to: l.B.IA})
+		}
+	}
+
+	for round := 0; round < r.MaxRounds && len(flights) > 0; round++ {
+		var next []flight
+		for _, f := range flights {
+			local, _ := f.l.Local(f.to)
+			if !stores[f.to].Insert(f.seg, local.IfID) {
+				continue
+			}
+			for _, l := range r.Topo.Children(f.to) {
+				if !r.Topo.LinkUp(l.ID) {
+					continue
+				}
+				if f.seg.ContainsIA(l.B.IA) {
+					continue
+				}
+				ext, err := r.extend(f.seg, f.to, local.IfID, l)
+				if err != nil {
+					return err
+				}
+				next = append(next, flight{seg: ext, l: l, to: l.B.IA})
+			}
+		}
+		flights = next
+	}
+
+	for ia, store := range stores {
+		for _, es := range store.All() {
+			for _, e := range es {
+				term, err := r.extend(e.Seg, ia, e.RecvIf, nil)
+				if err != nil {
+					return err
+				}
+				reg.Up[ia].Insert(term)
+				reg.Down.Insert(term)
+			}
+		}
+	}
+	return nil
+}

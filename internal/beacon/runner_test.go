@@ -1,0 +1,190 @@
+package beacon
+
+import (
+	"crypto/x509"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/cppki"
+	"sciera/internal/scrypto"
+	"sciera/internal/topology"
+)
+
+var (
+	rc1 = addr.MustParseIA("71-1")
+	rc2 = addr.MustParseIA("71-2")
+	rc3 = addr.MustParseIA("71-3")
+	rlA = addr.MustParseIA("71-10")
+	rlB = addr.MustParseIA("71-11")
+)
+
+func rkey(ia addr.IA) scrypto.HopKey { return scrypto.DeriveHopKey([]byte(ia.String()), 0) }
+
+func runnerTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	for _, ia := range []addr.IA{rc1, rc2, rc3} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia, Core: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ia := range []addr.IA{rlA, rlB} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(a, b addr.IA, typ topology.LinkType) {
+		if _, err := topo.AddLink(topology.LinkEnd{IA: a}, topology.LinkEnd{IA: b}, typ, 5, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(rc1, rc2, topology.LinkCore)
+	link(rc2, rc3, topology.LinkCore)
+	link(rc1, rc3, topology.LinkCore)
+	link(rc1, rlA, topology.LinkParent)
+	link(rc3, rlB, topology.LinkParent)
+	// A second-level leaf: rlB is also parent of nothing, rlA gets a
+	// child to exercise multi-hop down-beaconing.
+	sub := addr.MustParseIA("71-20")
+	if err := topo.AddAS(topology.ASInfo{IA: sub}); err != nil {
+		t.Fatal(err)
+	}
+	link(rlA, sub, topology.LinkParent)
+	return topo
+}
+
+func TestRunnerFullCoverage(t *testing.T) {
+	topo := runnerTopo(t)
+	r := &Runner{
+		Topo:      topo,
+		Keys:      rkey,
+		Timestamp: 500,
+		Rng:       rand.New(rand.NewSource(3)),
+	}
+	reg, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every core pair has core segments in both construction directions.
+	for _, a := range []addr.IA{rc1, rc2, rc3} {
+		for _, b := range []addr.IA{rc1, rc2, rc3} {
+			if a == b {
+				continue
+			}
+			if len(reg.Core.Get(a, b)) == 0 {
+				t.Errorf("no core segment %v -> %v", a, b)
+			}
+		}
+	}
+	// The second-level leaf learned up segments through its parent, and
+	// they are two-core-hop segments at least.
+	sub := addr.MustParseIA("71-20")
+	ups := reg.Up[sub].All()
+	if len(ups) == 0 {
+		t.Fatal("no up segments for the second-level leaf")
+	}
+	for _, s := range ups {
+		if s.LastIA() != sub {
+			t.Errorf("up segment ends at %v", s.LastIA())
+		}
+		if s.Len() < 3 {
+			t.Errorf("second-level up segment with %d entries", s.Len())
+		}
+		if err := s.VerifyMACs(func(ia addr.IA) (scrypto.HopKey, bool) { return rkey(ia), true }); err != nil {
+			t.Errorf("MACs: %v", err)
+		}
+	}
+	// Down registry mirrors every up registration.
+	if reg.Down.Len() == 0 {
+		t.Error("down registry empty")
+	}
+}
+
+func TestRunnerRespectsLinkState(t *testing.T) {
+	topo := runnerTopo(t)
+	// Cut rlB's only uplink: no up segments should be built for it.
+	for _, l := range topo.LinksOf(rlB) {
+		_ = topo.SetLinkUp(l.ID, false)
+	}
+	r := &Runner{Topo: topo, Keys: rkey, Timestamp: 1, Rng: rand.New(rand.NewSource(1))}
+	reg, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Up[rlB].Len(); got != 0 {
+		t.Errorf("up segments over a dead link: %d", got)
+	}
+	// Other ASes unaffected.
+	if reg.Up[rlA].Len() == 0 {
+		t.Error("rlA lost segments")
+	}
+}
+
+func TestRunnerWithSigners(t *testing.T) {
+	topo := runnerTopo(t)
+	p, err := cppki.ProvisionISD(71, []addr.IA{rc1}, []addr.IA{rc1},
+		cppki.ProvisionOptions{NotBefore: time.Now().Add(-time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caCert, err := x509.ParseCertificate(p.CACerts[rc1].Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signers := make(map[addr.IA]*cppki.Signer)
+	for _, as := range topo.ASes() {
+		key, _ := cppki.GenerateKey()
+		cert, err := cppki.NewASCert(as.IA, key.Public(), caCert, p.CACerts[rc1].Key,
+			time.Now().Add(-time.Minute), time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[as.IA] = &cppki.Signer{IA: as.IA, Key: key, Chain: cppki.Chain{AS: cert, CA: caCert}}
+	}
+	r := &Runner{
+		Topo:      topo,
+		Keys:      rkey,
+		Signers:   func(ia addr.IA) *cppki.Signer { return signers[ia] },
+		Timestamp: uint32(time.Now().Unix()),
+		Rng:       rand.New(rand.NewSource(9)),
+	}
+	reg, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcs := cppki.NewStore()
+	if err := trcs.AddTrusted(p.TRC, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(reg.Core.All(), reg.Down.All()...) {
+		if err := s.VerifySignatures(trcs, time.Now()); err != nil {
+			t.Fatalf("segment %v signatures: %v", s, err)
+		}
+	}
+}
+
+func TestRunnerBoundedRounds(t *testing.T) {
+	topo := runnerTopo(t)
+	r := &Runner{
+		Topo:      topo,
+		Keys:      rkey,
+		Timestamp: 1,
+		MaxRounds: 1, // starves propagation
+		Rng:       rand.New(rand.NewSource(1)),
+	}
+	reg, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Runner{Topo: topo, Keys: rkey, Timestamp: 1, Rng: rand.New(rand.NewSource(1))}
+	fullReg, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Core.Len() >= fullReg.Core.Len() {
+		t.Errorf("bounded rounds produced %d core segments, full run %d",
+			reg.Core.Len(), fullReg.Core.Len())
+	}
+}

@@ -1,0 +1,229 @@
+package bootstrap
+
+import (
+	"net/netip"
+	"strings"
+
+	"sciera/internal/dns"
+	"sciera/internal/simnet"
+)
+
+// LANConfig describes which SCION hints a campus network's existing
+// infrastructure carries — the knobs of Appendix A, Table 2.
+type LANConfig struct {
+	// BootstrapServer is the hint value every mechanism distributes.
+	BootstrapServer netip.AddrPort
+
+	// SearchDomain is the network's DNS search domain (e.g.
+	// "cs.example.edu"); DNS-based hints are published under it.
+	SearchDomain string
+
+	// Which hint carriers the network operates.
+	DHCPVIVO     bool // DHCPv4 option 125
+	DHCPOption72 bool // DHCPv4 "default WWW server"
+	DHCPv6VSIO   bool // DHCPv6 option 17
+	NDPRA        bool // RDNSS/DNSSL router advertisements
+	DNSSRV       bool
+	DNSNAPTR     bool
+	DNSSD        bool
+	MDNS         bool
+}
+
+// LAN is a simulated campus network segment: the infrastructure servers
+// a real deployment would already run, answering with SCION hints.
+type LAN struct {
+	Cfg   LANConfig
+	net   simnet.Network
+	conns []simnet.Conn
+
+	// DNSAddr is the resolver's address (valid if any DNS mechanism or
+	// NDP is enabled).
+	DNSAddr netip.AddrPort
+
+	dnsConn  simnet.Conn
+	mdnsConn simnet.Conn
+}
+
+// StartLAN brings up the LAN's infrastructure on the transport.
+// Broadcast-based services (DHCP, DHCPv6, NDP rendezvous, mDNS) bind
+// their well-known ports on dedicated server addresses.
+func StartLAN(net simnet.Network, serverHost func() netip.Addr, cfg LANConfig) (*LAN, error) {
+	l := &LAN{Cfg: cfg, net: net}
+	listen := func(at netip.AddrPort, h simnet.Handler) (simnet.Conn, error) {
+		c, err := net.Listen(at, h)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.conns = append(l.conns, c)
+		return c, nil
+	}
+
+	if cfg.DHCPVIVO || cfg.DHCPOption72 {
+		var conn simnet.Conn
+		conn, err := listen(netip.AddrPortFrom(serverHost(), PortDHCP), func(pkt []byte, from netip.AddrPort) {
+			m, err := DecodeDHCP(pkt)
+			if err != nil || m.Op != dhcpDiscover {
+				return
+			}
+			offer := &DHCPMessage{Op: dhcpOffer, XID: m.XID, Options: map[uint8][]byte{}}
+			if cfg.DHCPVIVO {
+				offer.Options[OptVIVO] = EncodeVIVO(cfg.BootstrapServer)
+			}
+			if cfg.DHCPOption72 {
+				ip := cfg.BootstrapServer.Addr().As4()
+				offer.Options[OptWWWServer] = ip[:]
+			}
+			_ = conn.Send(offer.Encode(), from)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.DHCPv6VSIO {
+		var conn simnet.Conn
+		conn, err := listen(netip.AddrPortFrom(serverHost(), PortDHCPv6), func(pkt []byte, from netip.AddrPort) {
+			m, err := DecodeDHCPv6(pkt)
+			if err != nil || m.Type != dhcp6Solicit {
+				return
+			}
+			adv := &DHCPv6Message{Type: dhcp6Advertise, XID: m.XID, Options: map[uint16][]byte{
+				Opt6VSIO: EncodeVIVO(cfg.BootstrapServer),
+			}}
+			_ = conn.Send(adv.Encode(), from)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	needDNS := cfg.DNSSRV || cfg.DNSNAPTR || cfg.DNSSD || cfg.NDPRA
+	if needDNS {
+		dnsConn, err := listen(netip.AddrPortFrom(serverHost(), PortDNS), func(pkt []byte, from netip.AddrPort) {
+			l.serveDNS(pkt, from)
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.DNSAddr = dnsConn.LocalAddr()
+		l.dnsConn = dnsConn
+	}
+
+	if cfg.NDPRA {
+		var conn simnet.Conn
+		conn, err := listen(netip.AddrPortFrom(serverHost(), PortNDP), func(pkt []byte, from netip.AddrPort) {
+			if !IsRS(pkt) {
+				return
+			}
+			ra := &RouterAdvertisement{SearchDomain: cfg.SearchDomain}
+			if l.DNSAddr.IsValid() {
+				ra.DNSServers = []netip.AddrPort{l.DNSAddr}
+			}
+			_ = conn.Send(ra.Encode(), from)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.MDNS {
+		var conn simnet.Conn
+		conn, err := listen(netip.AddrPortFrom(serverHost(), PortMDNS), func(pkt []byte, from netip.AddrPort) {
+			l.serveMDNS(pkt, from)
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.mdnsConn = conn
+	}
+	return l, nil
+}
+
+// Close shuts the LAN down.
+func (l *LAN) Close() {
+	for _, c := range l.conns {
+		_ = c.Close()
+	}
+}
+
+// serveDNS answers queries for the SCION discovery records under the
+// search domain.
+func (l *LAN) serveDNS(pkt []byte, from netip.AddrPort) {
+	q, err := dns.Decode(pkt)
+	if err != nil || q.Response || len(q.Questions) == 0 {
+		return
+	}
+	resp := &dns.Message{ID: q.ID, Response: true, Questions: q.Questions}
+	for _, question := range q.Questions {
+		resp.Answers = append(resp.Answers, l.answersFor(question, l.Cfg.SearchDomain)...)
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	_ = l.dnsConn.Send(out, from)
+}
+
+// serveMDNS answers multicast queries for the discovery service in the
+// .local domain.
+func (l *LAN) serveMDNS(pkt []byte, from netip.AddrPort) {
+	q, err := dns.Decode(pkt)
+	if err != nil || q.Response || len(q.Questions) == 0 {
+		return
+	}
+	resp := &dns.Message{ID: q.ID, Response: true, Questions: q.Questions}
+	for _, question := range q.Questions {
+		resp.Answers = append(resp.Answers, l.answersFor(question, "local")...)
+	}
+	if len(resp.Answers) == 0 {
+		return // mDNS responders stay silent on unknown names
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	_ = l.mdnsConn.Send(out, from)
+}
+
+// answersFor produces the configured discovery records for a question.
+func (l *LAN) answersFor(q dns.Question, domain string) []dns.Record {
+	bs := l.Cfg.BootstrapServer
+	hostName := "bootstrap-server." + domain
+	srvName := DiscoveryService + "." + domain
+	instance := "sciera." + srvName
+	var out []dns.Record
+	switch {
+	case q.Type == dns.TypeSRV && strings.EqualFold(q.Name, srvName) && l.Cfg.DNSSRV:
+		out = append(out,
+			dns.Record{Name: srvName, Type: dns.TypeSRV, Class: dns.ClassIN, TTL: 300,
+				SRV: dns.SRV{Priority: 1, Port: bs.Port(), Target: hostName}},
+			hostRecord(hostName, bs.Addr()),
+		)
+	case q.Type == dns.TypeNAPTR && strings.EqualFold(q.Name, domain) && l.Cfg.DNSNAPTR:
+		out = append(out,
+			dns.Record{Name: domain, Type: dns.TypeNAPTR, Class: dns.ClassIN, TTL: 300,
+				NAPTR: dns.NAPTR{Order: 10, Preference: 10, Flags: "A",
+					Service: NAPTRService, Replacement: hostName}},
+			hostRecord(hostName, bs.Addr()),
+		)
+	case q.Type == dns.TypePTR && strings.EqualFold(q.Name, srvName) && (l.Cfg.DNSSD || (domain == "local" && l.Cfg.MDNS)):
+		out = append(out,
+			dns.Record{Name: srvName, Type: dns.TypePTR, Class: dns.ClassIN, TTL: 300, PTR: instance},
+			dns.Record{Name: instance, Type: dns.TypeSRV, Class: dns.ClassIN, TTL: 300,
+				SRV: dns.SRV{Priority: 1, Port: bs.Port(), Target: hostName}},
+			hostRecord(hostName, bs.Addr()),
+		)
+	case (q.Type == dns.TypeA || q.Type == dns.TypeAAAA) && strings.EqualFold(q.Name, hostName):
+		out = append(out, hostRecord(hostName, bs.Addr()))
+	}
+	return out
+}
+
+func hostRecord(name string, a netip.Addr) dns.Record {
+	t := dns.TypeA
+	if a.Is6() {
+		t = dns.TypeAAAA
+	}
+	return dns.Record{Name: name, Type: t, Class: dns.ClassIN, TTL: 300, A: a}
+}

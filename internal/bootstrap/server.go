@@ -1,0 +1,145 @@
+package bootstrap
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"sciera/internal/addr"
+	"sciera/internal/cppki"
+	"sciera/internal/simnet"
+)
+
+// TopologyFile is the configuration document the bootstrap server hands
+// to clients: everything a host needs to use SCION in this AS. The AS
+// signs it with its AS certificate.
+type TopologyFile struct {
+	IA          addr.IA        `json:"ia"`
+	RouterAddr  netip.AddrPort `json:"router_addr"`
+	ControlAddr netip.AddrPort `json:"control_addr"`
+}
+
+// Encode renders the topology file.
+func (t *TopologyFile) Encode() ([]byte, error) { return json.Marshal(t) }
+
+// DecodeTopology parses a topology file.
+func DecodeTopology(b []byte) (*TopologyFile, error) {
+	var t TopologyFile
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("bootstrap: decoding topology: %w", err)
+	}
+	return &t, nil
+}
+
+// Server serves the AS's bootstrap configuration. It exposes the same
+// document tree over two frontends: real HTTP (ServeHTTP implements
+// http.Handler, used on live deployments) and a single-datagram GET
+// protocol over the simulated transport (used by the latency
+// experiments, where virtual time replaces wall-clock HTTP).
+type Server struct {
+	// Topology is the served configuration.
+	Topology TopologyFile
+	// Signer signs the topology; nil serves it unsigned (a deployment
+	// choice the client may reject).
+	Signer *cppki.Signer
+	// TRCs serves /trcs/isd{N}.
+	TRCs *cppki.Store
+
+	conn simnet.Conn
+}
+
+// Start binds the datagram frontend.
+func (s *Server) Start(net simnet.Network, at netip.AddrPort) error {
+	conn, err := net.Listen(at, s.handleDatagram)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	return nil
+}
+
+// Addr returns the datagram frontend's address.
+func (s *Server) Addr() netip.AddrPort { return s.conn.LocalAddr() }
+
+// Close stops the datagram frontend.
+func (s *Server) Close() error {
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.Close()
+}
+
+// resolve returns (body, status) for a document path.
+func (s *Server) resolve(path string) ([]byte, int) {
+	switch {
+	case path == "/topology":
+		body, err := s.topologyDocument()
+		if err != nil {
+			return []byte(err.Error()), http.StatusInternalServerError
+		}
+		return body, http.StatusOK
+	case strings.HasPrefix(path, "/trcs/isd"):
+		if s.TRCs == nil {
+			return []byte("no TRC store"), http.StatusNotFound
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(path, "/trcs/isd"), 10, 16)
+		if err != nil {
+			return []byte("bad ISD"), http.StatusBadRequest
+		}
+		trc, ok := s.TRCs.Get(addr.ISD(n))
+		if !ok {
+			return []byte("unknown ISD"), http.StatusNotFound
+		}
+		body, err := trc.Encode()
+		if err != nil {
+			return []byte(err.Error()), http.StatusInternalServerError
+		}
+		return body, http.StatusOK
+	default:
+		return []byte("not found"), http.StatusNotFound
+	}
+}
+
+// topologyDocument returns the (signed) topology body.
+func (s *Server) topologyDocument() ([]byte, error) {
+	raw, err := s.Topology.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if s.Signer == nil {
+		// Unsigned: wrap in an envelope with empty signature so the
+		// client can distinguish.
+		return json.Marshal(&cppki.SignedMessage{Payload: raw})
+	}
+	msg, err := s.Signer.Sign(raw)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Encode()
+}
+
+// ServeHTTP implements http.Handler (the live-deployment frontend).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, status := s.resolve(r.URL.Path)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// handleDatagram serves "GET <path>" datagrams with "<status> <body>".
+func (s *Server) handleDatagram(pkt []byte, from netip.AddrPort) {
+	req := string(pkt)
+	if !strings.HasPrefix(req, "GET ") {
+		return
+	}
+	body, status := s.resolve(strings.TrimSpace(strings.TrimPrefix(req, "GET ")))
+	resp := append([]byte(fmt.Sprintf("%d ", status)), body...)
+	_ = s.conn.Send(resp, from)
+}

@@ -1,0 +1,287 @@
+// Package bootstrap implements SCIERA's automated end-host
+// bootstrapping (paper Sections 4.1 and Appendix A): a client joining a
+// network discovers the AS's bootstrap server through hint mechanisms
+// piggybacked on protocols the network already runs — DHCP, DHCPv6,
+// IPv6 neighbor discovery, unicast DNS (SRV, NAPTR, service discovery)
+// and multicast DNS — then fetches the signed AS topology and the ISD
+// TRC from the bootstrap server, leaving the host fully configured for
+// native SCION connectivity.
+//
+// The package contains both sides: the LAN infrastructure servers a
+// campus network would already operate (DHCP server, DNS resolver,
+// advertising router, mDNS responder), with the SCION hints added to
+// their answers, and the client that walks the mechanisms in preference
+// order.
+package bootstrap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Well-known LAN ports (simulated network plan).
+const (
+	PortDHCP   = 67
+	PortDHCPv6 = 547
+	PortNDP    = 5800 // router solicitation/advertisement rendezvous
+	PortDNS    = 53
+	PortMDNS   = 5353
+	// PortBootstrap is the bootstrap server's default discovery port.
+	PortBootstrap = 8041
+)
+
+// DiscoveryService is the DNS service name used by all DNS-based
+// mechanisms.
+const DiscoveryService = "_sciondiscovery._tcp"
+
+// NAPTRService is the service tag in NAPTR records.
+const NAPTRService = "x-sciondiscovery:tcp"
+
+// PEN is the private enterprise number identifying SCION hints in DHCP
+// vendor options.
+const PEN = 55324
+
+// Errors.
+var (
+	ErrNoHint    = errors.New("bootstrap: no hint obtained")
+	ErrBadPacket = errors.New("bootstrap: malformed packet")
+)
+
+// --- DHCPv4 (simplified wire format) ---
+
+// DHCP message ops.
+const (
+	dhcpDiscover = 1
+	dhcpOffer    = 2
+)
+
+// DHCP option codes.
+const (
+	// OptWWWServer is option 72 ("Default WWW server"), used when
+	// custom options cannot be configured.
+	OptWWWServer = 72
+	// OptVIVO is option 125 (vendor-identifying vendor options).
+	OptVIVO = 125
+)
+
+var dhcpMagic = [4]byte{'D', 'H', 'C', '4'}
+
+// DHCPMessage is a simplified DHCPv4 message: enough structure for the
+// discover/offer exchange the hint mechanisms need.
+type DHCPMessage struct {
+	Op      uint8
+	XID     uint32
+	Options map[uint8][]byte
+}
+
+// Encode renders the message.
+func (m *DHCPMessage) Encode() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, dhcpMagic[:]...)
+	b = append(b, m.Op)
+	var xid [4]byte
+	binary.BigEndian.PutUint32(xid[:], m.XID)
+	b = append(b, xid[:]...)
+	for code, val := range m.Options {
+		if len(val) > 255 {
+			continue
+		}
+		b = append(b, code, byte(len(val)))
+		b = append(b, val...)
+	}
+	return b
+}
+
+// DecodeDHCP parses a DHCP message.
+func DecodeDHCP(b []byte) (*DHCPMessage, error) {
+	if len(b) < 9 || [4]byte(b[0:4]) != dhcpMagic {
+		return nil, fmt.Errorf("%w: not DHCP", ErrBadPacket)
+	}
+	m := &DHCPMessage{
+		Op:      b[4],
+		XID:     binary.BigEndian.Uint32(b[5:9]),
+		Options: make(map[uint8][]byte),
+	}
+	for off := 9; off < len(b); {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("%w: truncated option", ErrBadPacket)
+		}
+		code, l := b[off], int(b[off+1])
+		off += 2
+		if off+l > len(b) {
+			return nil, fmt.Errorf("%w: truncated option %d", ErrBadPacket, code)
+		}
+		m.Options[code] = append([]byte(nil), b[off:off+l]...)
+		off += l
+	}
+	return m, nil
+}
+
+// EncodeVIVO packs a PEN-scoped vendor option carrying the bootstrap
+// server address.
+func EncodeVIVO(server netip.AddrPort) []byte {
+	var pen [4]byte
+	binary.BigEndian.PutUint32(pen[:], PEN)
+	payload := server.String()
+	out := append([]byte{}, pen[:]...)
+	out = append(out, byte(len(payload)))
+	return append(out, payload...)
+}
+
+// DecodeVIVO extracts the bootstrap server address from a VIVO payload,
+// checking the PEN.
+func DecodeVIVO(b []byte) (netip.AddrPort, error) {
+	if len(b) < 5 {
+		return netip.AddrPort{}, fmt.Errorf("%w: VIVO too short", ErrBadPacket)
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != PEN {
+		return netip.AddrPort{}, fmt.Errorf("%w: foreign PEN", ErrBadPacket)
+	}
+	l := int(b[4])
+	if 5+l > len(b) {
+		return netip.AddrPort{}, fmt.Errorf("%w: truncated VIVO", ErrBadPacket)
+	}
+	return netip.ParseAddrPort(string(b[5 : 5+l]))
+}
+
+// --- DHCPv6 (simplified) ---
+
+var dhcp6Magic = [4]byte{'D', 'H', 'C', '6'}
+
+const (
+	dhcp6Solicit   = 1
+	dhcp6Advertise = 2
+	// Opt6VSIO is DHCPv6 option 17 (vendor-specific information).
+	Opt6VSIO = 17
+)
+
+// DHCPv6Message is a simplified DHCPv6 message.
+type DHCPv6Message struct {
+	Type    uint8
+	XID     uint32
+	Options map[uint16][]byte
+}
+
+// Encode renders the message.
+func (m *DHCPv6Message) Encode() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, dhcp6Magic[:]...)
+	b = append(b, m.Type)
+	var xid [4]byte
+	binary.BigEndian.PutUint32(xid[:], m.XID)
+	b = append(b, xid[:]...)
+	for code, val := range m.Options {
+		var hdr [4]byte
+		binary.BigEndian.PutUint16(hdr[0:2], code)
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(val)))
+		b = append(b, hdr[:]...)
+		b = append(b, val...)
+	}
+	return b
+}
+
+// DecodeDHCPv6 parses a DHCPv6 message.
+func DecodeDHCPv6(b []byte) (*DHCPv6Message, error) {
+	if len(b) < 9 || [4]byte(b[0:4]) != dhcp6Magic {
+		return nil, fmt.Errorf("%w: not DHCPv6", ErrBadPacket)
+	}
+	m := &DHCPv6Message{
+		Type:    b[4],
+		XID:     binary.BigEndian.Uint32(b[5:9]),
+		Options: make(map[uint16][]byte),
+	}
+	for off := 9; off < len(b); {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("%w: truncated option", ErrBadPacket)
+		}
+		code := binary.BigEndian.Uint16(b[off : off+2])
+		l := int(binary.BigEndian.Uint16(b[off+2 : off+4]))
+		off += 4
+		if off+l > len(b) {
+			return nil, fmt.Errorf("%w: truncated option %d", ErrBadPacket, code)
+		}
+		m.Options[code] = append([]byte(nil), b[off:off+l]...)
+		off += l
+	}
+	return m, nil
+}
+
+// --- IPv6 NDP router advertisements (simplified) ---
+
+var ndpMagic = [4]byte{'N', 'D', 'P', '1'}
+
+const (
+	ndpSolicit   = 133
+	ndpAdvertise = 134
+)
+
+// RouterAdvertisement carries the RDNSS (recursive DNS servers) and
+// DNSSL (DNS search list) options of RFC 6106.
+type RouterAdvertisement struct {
+	DNSServers   []netip.AddrPort
+	SearchDomain string
+}
+
+// Encode renders a router advertisement.
+func (ra *RouterAdvertisement) Encode() []byte {
+	b := append([]byte{}, ndpMagic[:]...)
+	b = append(b, ndpAdvertise)
+	b = append(b, byte(len(ra.DNSServers)))
+	for _, s := range ra.DNSServers {
+		str := s.String()
+		b = append(b, byte(len(str)))
+		b = append(b, str...)
+	}
+	b = append(b, byte(len(ra.SearchDomain)))
+	b = append(b, ra.SearchDomain...)
+	return b
+}
+
+// DecodeRA parses a router advertisement.
+func DecodeRA(b []byte) (*RouterAdvertisement, error) {
+	if len(b) < 6 || [4]byte(b[0:4]) != ndpMagic || b[4] != ndpAdvertise {
+		return nil, fmt.Errorf("%w: not an RA", ErrBadPacket)
+	}
+	ra := &RouterAdvertisement{}
+	off := 5
+	n := int(b[off])
+	off++
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, fmt.Errorf("%w: truncated RDNSS", ErrBadPacket)
+		}
+		l := int(b[off])
+		off++
+		if off+l > len(b) {
+			return nil, fmt.Errorf("%w: truncated RDNSS entry", ErrBadPacket)
+		}
+		ap, err := netip.ParseAddrPort(string(b[off : off+l]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+		}
+		ra.DNSServers = append(ra.DNSServers, ap)
+		off += l
+	}
+	if off >= len(b) {
+		return nil, fmt.Errorf("%w: truncated DNSSL", ErrBadPacket)
+	}
+	l := int(b[off])
+	off++
+	if off+l > len(b) {
+		return nil, fmt.Errorf("%w: truncated search domain", ErrBadPacket)
+	}
+	ra.SearchDomain = string(b[off : off+l])
+	return ra, nil
+}
+
+// EncodeRS renders a router solicitation.
+func EncodeRS() []byte {
+	return append(append([]byte{}, ndpMagic[:]...), ndpSolicit)
+}
+
+// IsRS reports whether b is a router solicitation.
+func IsRS(b []byte) bool {
+	return len(b) >= 5 && [4]byte(b[0:4]) == ndpMagic && b[4] == ndpSolicit
+}

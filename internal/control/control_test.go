@@ -1,0 +1,298 @@
+package control
+
+import (
+	"crypto/x509"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/beacon"
+	"sciera/internal/ca"
+	"sciera/internal/cppki"
+	"sciera/internal/pathdb"
+	"sciera/internal/scrypto"
+	"sciera/internal/segment"
+	"sciera/internal/simnet"
+)
+
+var (
+	coreIA = addr.MustParseIA("71-1")
+	leafIA = addr.MustParseIA("71-10")
+)
+
+func key(ia addr.IA) scrypto.HopKey { return scrypto.DeriveHopKey([]byte(ia.String()), 0) }
+
+func testRegistry(t *testing.T) *beacon.Registry {
+	t.Helper()
+	seg1, err := segment.Originate(100, 1, coreIA, 1, leafIA, 5, 63, key(coreIA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg1.Extend(segment.ASEntry{IA: leafIA, Ingress: 2, ExpTime: 63}, key(leafIA)); err != nil {
+		t.Fatal(err)
+	}
+	reg := &beacon.Registry{
+		Up:   map[addr.IA]*pathdb.DB{leafIA: pathdb.New()},
+		Core: pathdb.New(),
+		Down: pathdb.New(),
+	}
+	reg.Up[leafIA].Insert(seg1)
+	reg.Down.Insert(seg1)
+	return reg
+}
+
+func startService(t *testing.T, sim *simnet.Sim, ia addr.IA, reg *beacon.Registry, trcs *cppki.Store, issuer *ca.CA) *Service {
+	t.Helper()
+	svc := &Service{IA: ia, Registry: func() *beacon.Registry { return reg }, TRCs: trcs, CA: issuer}
+	if err := svc.Start(sim, netip.AddrPort{}); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestPathsRequest(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	reg := testRegistry(t)
+	svc := startService(t, sim, leafIA, reg, cppki.NewStore(), nil)
+	defer svc.Close()
+
+	cli, err := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var got *Response
+	cli.Do(&Request{Type: "paths", Dst: leafIA}, func(r *Response, err error) {
+		if err != nil {
+			t.Errorf("paths: %v", err)
+			return
+		}
+		got = r
+	})
+	sim.RunFor(time.Second)
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if len(got.Ups) != 1 || len(got.Downs) != 1 || len(got.Cores) != 0 {
+		t.Fatalf("segments: ups=%d cores=%d downs=%d", len(got.Ups), len(got.Cores), len(got.Downs))
+	}
+	segs, err := DecodeSegments(got.Ups)
+	if err != nil || len(segs) != 1 || segs[0].LastIA() != leafIA {
+		t.Fatalf("decode: %v %v", segs, err)
+	}
+}
+
+func TestTRCRequest(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	p, err := cppki.ProvisionISD(71, []addr.IA{coreIA}, []addr.IA{coreIA},
+		cppki.ProvisionOptions{NotBefore: sim.Now().Add(-time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcs := cppki.NewStore()
+	if err := trcs.AddTrusted(p.TRC, sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	svc := startService(t, sim, coreIA, testRegistry(t), trcs, nil)
+	defer svc.Close()
+	cli, _ := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	defer cli.Close()
+
+	var got *Response
+	cli.Do(&Request{Type: "trc", ISD: 71}, func(r *Response, err error) { got = r })
+	sim.RunFor(time.Second)
+	if got == nil || got.Error != "" {
+		t.Fatalf("resp = %+v", got)
+	}
+	trc, err := cppki.DecodeTRC(got.TRC)
+	if err != nil || trc.ISD != 71 {
+		t.Fatalf("trc: %v %v", trc, err)
+	}
+
+	// Unknown ISD errors.
+	got = nil
+	cli.Do(&Request{Type: "trc", ISD: 99}, func(r *Response, err error) { got = r })
+	sim.RunFor(time.Second)
+	if got == nil || got.Error == "" {
+		t.Fatal("unknown ISD not rejected")
+	}
+}
+
+func TestRenewRequest(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	p, err := cppki.ProvisionISD(71, []addr.IA{coreIA}, []addr.IA{coreIA},
+		cppki.ProvisionOptions{NotBefore: time.Now().Add(-time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caMat := p.CACerts[coreIA]
+	caCert, err := x509.ParseCertificate(caMat.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer := ca.New(coreIA, caCert, caMat.Key, 72*time.Hour)
+	svc := startService(t, sim, coreIA, testRegistry(t), cppki.NewStore(), issuer)
+	defer svc.Close()
+	cli, _ := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	defer cli.Close()
+
+	asKey, _ := cppki.GenerateKey()
+	csr, err := ca.NewCSR(leafIA, asKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Response
+	cli.Do(&Request{Type: "renew", CSR: csr}, func(r *Response, err error) { got = r })
+	sim.RunFor(time.Second)
+	if got == nil || got.Error != "" {
+		t.Fatalf("resp = %+v", got)
+	}
+	asCert, err := x509.ParseCertificate(got.ASCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caGot, err := x509.ParseCertificate(got.CACert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcs := cppki.NewStore()
+	_ = trcs.AddTrusted(p.TRC, time.Now())
+	trc, _ := trcs.Get(71)
+	if err := cppki.VerifyChain(cppki.Chain{AS: asCert, CA: caGot}, trc, leafIA, time.Now()); err != nil {
+		t.Fatalf("issued chain invalid: %v", err)
+	}
+
+	// Renew on a CA-less service errors.
+	svc2 := startService(t, sim, leafIA, testRegistry(t), cppki.NewStore(), nil)
+	defer svc2.Close()
+	cli2, _ := NewClient(sim, svc2.Addr(), netip.AddrPort{})
+	defer cli2.Close()
+	got = nil
+	cli2.Do(&Request{Type: "renew", CSR: csr}, func(r *Response, err error) { got = r })
+	sim.RunFor(time.Second)
+	if got == nil || got.Error == "" {
+		t.Fatal("renew on CA-less service accepted")
+	}
+}
+
+func TestTRCUpdateChainOverNetwork(t *testing.T) {
+	// Section 3.3's governance evolution: the ISD's core membership
+	// changes, a successor TRC is quorum-signed, the control service
+	// serves it, and clients verify the chain — rejecting a rogue one.
+	sim := simnet.NewSim(time.Unix(0, 0))
+	now := time.Now()
+	p, err := cppki.ProvisionISD(71, []addr.IA{coreIA}, []addr.IA{coreIA},
+		cppki.ProvisionOptions{NotBefore: now.Add(-time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcs := cppki.NewStore()
+	if err := trcs.AddTrusted(p.TRC, now); err != nil {
+		t.Fatal(err)
+	}
+	svc := startService(t, sim, coreIA, testRegistry(t), trcs, nil)
+	defer svc.Close()
+	cli, _ := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	defer cli.Close()
+
+	// The client bootstraps trust from the base TRC.
+	clientStore := cppki.NewStore()
+	fetch := func() *cppki.TRC {
+		var got *Response
+		cli.Do(&Request{Type: "trc", ISD: 71}, func(r *Response, err error) { got = r })
+		sim.RunFor(time.Second)
+		if got == nil || got.Error != "" {
+			t.Fatalf("trc fetch: %+v", got)
+		}
+		trc, err := cppki.DecodeTRC(got.TRC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trc
+	}
+	if err := clientStore.AddTrusted(fetch(), now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Governance event: a new core AS joins; the authoritative roots
+	// quorum-sign the successor, which the CS starts serving.
+	newCore := addr.MustParseIA("71-2:0:77")
+	next, err := cppki.UpdateTRC(p.TRC, p.RootKeys, []addr.IA{coreIA, newCore}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trcs.Update(next, now); err != nil {
+		t.Fatal(err)
+	}
+	served := fetch()
+	if served.Serial != 2 || !served.IsCore(newCore) {
+		t.Fatalf("served TRC = %s", served.ID())
+	}
+	// The client verifies the chain from its trusted base.
+	if err := clientStore.Update(served, now); err != nil {
+		t.Fatalf("chained update rejected: %v", err)
+	}
+
+	// A rogue successor (signed by the wrong keys) must not enter the
+	// client's store even if a compromised CS served it.
+	rogueKeys := make([]*cppki.KeyPair, len(p.RootKeys))
+	for i := range rogueKeys {
+		k, _ := cppki.GenerateKey()
+		rogueKeys[i] = k
+	}
+	rogue, err := cppki.UpdateTRC(served, rogueKeys, []addr.IA{newCore}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clientStore.Update(rogue, now); err == nil {
+		t.Fatal("rogue TRC accepted")
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	// Point the client at an address nobody listens on.
+	cli, err := NewClient(sim, netip.MustParseAddrPort("10.200.0.1:9999"), netip.AddrPort{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Timeout = 500 * time.Millisecond
+	var gotErr error
+	fired := 0
+	cli.Do(&Request{Type: "paths", Dst: leafIA}, func(r *Response, err error) {
+		gotErr = err
+		fired++
+	})
+	sim.RunFor(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("callback fired %d times", fired)
+	}
+	if gotErr == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestUnknownRequestType(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	svc := startService(t, sim, leafIA, testRegistry(t), cppki.NewStore(), nil)
+	defer svc.Close()
+	cli, _ := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	defer cli.Close()
+	var got *Response
+	cli.Do(&Request{Type: "bogus"}, func(r *Response, err error) { got = r })
+	sim.RunFor(time.Second)
+	if got == nil || got.Error == "" {
+		t.Fatal("bogus request type not rejected")
+	}
+}
+
+func TestServiceRequiresRegistry(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	svc := &Service{IA: leafIA}
+	if err := svc.Start(sim, netip.AddrPort{}); err == nil {
+		t.Fatal("service without registry started")
+	}
+}

@@ -1,0 +1,47 @@
+package control
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/cppki"
+	"sciera/internal/simnet"
+)
+
+// TestDoSyncLiveDriven covers the blocking request variant against a
+// live-driven simulator, the mode interactive binaries use.
+func TestDoSyncLiveDriven(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	reg := testRegistry(t)
+	svc := startService(t, sim, leafIA, reg, cppki.NewStore(), nil)
+	defer svc.Close()
+
+	cli, err := NewClient(sim, svc.Addr(), netip.AddrPort{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); sim.RunLive(stop) }()
+	defer func() { close(stop); <-done }()
+
+	resp, err := cli.DoSync(&Request{Type: "paths", Dst: leafIA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ups) != 1 {
+		t.Fatalf("ups = %d, want 1", len(resp.Ups))
+	}
+
+	// Blocking error propagation: a request the service rejects.
+	resp, err = cli.DoSync(&Request{Type: "nonsense"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("unknown request type produced no error")
+	}
+}

@@ -1,0 +1,431 @@
+// Package core wires every substrate into a complete SCION network in a
+// box: given an AS-level topology it derives forwarding keys, runs
+// beaconing to populate the path-segment registries, instantiates one
+// border router per AS on the chosen transport (discrete-event simulator
+// or real loopback UDP), and answers path lookups by segment
+// combination.
+//
+// This is the entry point a downstream user starts from: build a
+// topology (or load the SCIERA deployment from package sciera), call
+// Build, and dial across the network with package pan.
+package core
+
+import (
+	"crypto/x509"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/beacon"
+	"sciera/internal/combinator"
+	"sciera/internal/control"
+	"sciera/internal/cppki"
+	"sciera/internal/daemon"
+	"sciera/internal/router"
+	"sciera/internal/scmp"
+	"sciera/internal/scrypto"
+	"sciera/internal/segment"
+	"sciera/internal/simnet"
+	"sciera/internal/topology"
+)
+
+// parseCert decodes a DER certificate.
+func parseCert(der []byte) (*x509.Certificate, error) {
+	return x509.ParseCertificate(der)
+}
+
+// Options tunes network construction.
+type Options struct {
+	// Seed drives all randomized control-plane choices; fixed seeds
+	// give reproducible networks.
+	Seed int64
+	// BestPerOrigin bounds beacon stores (beacon.DefaultBestPerOrigin
+	// when zero). Larger values surface more path diversity.
+	BestPerOrigin int
+	// UseDispatcher configures routers to deliver through the legacy
+	// shared dispatcher port (Section 4.8 ablation).
+	UseDispatcher bool
+	// WithPKI provisions a control-plane PKI per ISD and signs all
+	// beacon entries. Slower; the live examples enable it, bulk
+	// campaigns skip it.
+	WithPKI bool
+	// Now stamps segments; defaults to the transport clock.
+	Now time.Time
+	// IntraASDelay is the simulated one-way delay between AS-internal
+	// endpoints (hosts, services, routers); default 100µs. Only
+	// meaningful on the discrete-event transport.
+	IntraASDelay time.Duration
+}
+
+// Network is a fully assembled SCION network.
+type Network struct {
+	Topo      *topology.Topology
+	Transport simnet.Network
+	Opts      Options
+
+	mu       sync.RWMutex
+	registry *beacon.Registry
+	// wires maps directed (from, to) underlay circuit endpoints to
+	// their topology link, for the simulator's latency model.
+	wiresMu  sync.Mutex
+	wires    map[wireKey]*topology.Link
+	routers  map[addr.IA]*router.Router
+	services map[addr.IA]*control.Service
+	keys     map[addr.IA]scrypto.HopKey
+	signers  map[addr.IA]*cppki.Signer
+	trcs     *cppki.Store
+	rng      *rand.Rand
+}
+
+// Build assembles the network: keys, PKI (optional), beaconing, routers.
+func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Network, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Topo:      topo,
+		Transport: transport,
+		Opts:      opts,
+		routers:   make(map[addr.IA]*router.Router),
+		services:  make(map[addr.IA]*control.Service),
+		keys:      make(map[addr.IA]scrypto.HopKey),
+		signers:   make(map[addr.IA]*cppki.Signer),
+		trcs:      cppki.NewStore(),
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
+	if n.Opts.Now.IsZero() {
+		n.Opts.Now = transport.Now()
+	}
+
+	for _, as := range topo.ASes() {
+		n.keys[as.IA] = scrypto.DeriveHopKey([]byte(fmt.Sprintf("as-secret-%s-%d", as.IA, opts.Seed)), 0)
+	}
+	if opts.WithPKI {
+		if err := n.provisionPKI(); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.refreshControlPlane(); err != nil {
+		return nil, err
+	}
+	if err := n.buildDataPlane(); err != nil {
+		return nil, err
+	}
+	if err := n.startControlServices(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// startControlServices runs one control service per AS on the underlay.
+func (n *Network) startControlServices() error {
+	for _, as := range n.Topo.ASes() {
+		svc := &control.Service{
+			IA:       as.IA,
+			Registry: n.Registry,
+			TRCs:     n.trcs,
+		}
+		if err := svc.Start(n.Transport, n.HostAddr()); err != nil {
+			return err
+		}
+		n.services[as.IA] = svc
+	}
+	return nil
+}
+
+// ControlService returns an AS's control service.
+func (n *Network) ControlService(ia addr.IA) (*control.Service, bool) {
+	s, ok := n.services[ia]
+	return s, ok
+}
+
+// NewDaemon creates an end-host daemon inside the given AS, wired to
+// the AS's control service and border router.
+func (n *Network) NewDaemon(ia addr.IA) (*daemon.Daemon, error) {
+	svc, ok := n.services[ia]
+	if !ok {
+		return nil, fmt.Errorf("core: no control service for %v", ia)
+	}
+	rtr, ok := n.routers[ia]
+	if !ok {
+		return nil, fmt.Errorf("core: no router for %v", ia)
+	}
+	return daemon.New(n.Transport, daemon.Info{
+		LocalIA:     ia,
+		RouterAddr:  rtr.LocalAddr(),
+		ControlAddr: svc.Addr(),
+	}, n.HostAddr())
+}
+
+// AttachResponder starts an SCMP echo responder in an AS at the
+// well-known end-host port, so the AS answers pings (every SCIERA AS
+// does, even those without the measurement tool).
+func (n *Network) AttachResponder(ia addr.IA) (*scmp.Responder, error) {
+	rtr, ok := n.routers[ia]
+	if !ok {
+		return nil, fmt.Errorf("core: no router for %v", ia)
+	}
+	host := n.HostAddr()
+	at := netip.AddrPortFrom(host.Addr(), router.EndhostPort)
+	if !host.Addr().IsValid() {
+		// UDPNet: all hosts share the loopback address, so only one
+		// responder can own the well-known end-host SCMP port — the
+		// same constraint a real single-host deployment has.
+		at = netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), router.EndhostPort)
+	}
+	return scmp.NewResponder(n.Transport, ia, rtr.LocalAddr(), at)
+}
+
+// NewPinger creates an SCMP echo client inside an AS.
+func (n *Network) NewPinger(ia addr.IA) (*scmp.Pinger, error) {
+	rtr, ok := n.routers[ia]
+	if !ok {
+		return nil, fmt.Errorf("core: no router for %v", ia)
+	}
+	return scmp.NewPinger(n.Transport, ia, rtr.LocalAddr(), n.HostAddr())
+}
+
+// provisionPKI creates one TRC per ISD with the ISD's core ASes as
+// authoritative CAs, and an AS certificate/signer per AS.
+func (n *Network) provisionPKI() error {
+	now := n.Opts.Now
+	byISD := make(map[addr.ISD][]addr.IA)
+	coreByISD := make(map[addr.ISD][]addr.IA)
+	for _, as := range n.Topo.ASes() {
+		byISD[as.IA.ISD()] = append(byISD[as.IA.ISD()], as.IA)
+		if as.Core {
+			coreByISD[as.IA.ISD()] = append(coreByISD[as.IA.ISD()], as.IA)
+		}
+	}
+	for isd, members := range byISD {
+		cores := coreByISD[isd]
+		if len(cores) == 0 {
+			return fmt.Errorf("core: ISD %d has no core AS", isd)
+		}
+		authoritative := cores
+		if len(authoritative) > 2 {
+			authoritative = authoritative[:2]
+		}
+		p, err := cppki.ProvisionISD(isd, cores, authoritative, cppki.ProvisionOptions{
+			NotBefore: now.Add(-time.Minute),
+		})
+		if err != nil {
+			return err
+		}
+		if err := n.trcs.AddTrusted(p.TRC, now); err != nil {
+			return err
+		}
+		// Issue an AS cert per member from the first authoritative CA.
+		caMat := p.CACerts[authoritative[0]]
+		caCert, err := parseCert(caMat.Cert)
+		if err != nil {
+			return err
+		}
+		for _, ia := range members {
+			key, err := cppki.GenerateKey()
+			if err != nil {
+				return err
+			}
+			cert, err := cppki.NewASCert(ia, key.Public(), caCert, caMat.Key, now.Add(-time.Minute), 72*time.Hour)
+			if err != nil {
+				return err
+			}
+			n.signers[ia] = &cppki.Signer{
+				IA:    ia,
+				Key:   key,
+				Chain: cppki.Chain{AS: cert, CA: caCert},
+			}
+		}
+	}
+	return nil
+}
+
+// refreshControlPlane (re)runs beaconing over the current topology
+// state. The live network does this periodically; the simulator calls
+// RefreshControlPlane after every topology event (link failure,
+// maintenance), which models the next beaconing interval converging.
+func (n *Network) refreshControlPlane() error {
+	runner := &beacon.Runner{
+		Topo:          n.Topo,
+		Keys:          func(ia addr.IA) scrypto.HopKey { return n.keys[ia] },
+		Timestamp:     uint32(n.Opts.Now.Unix()),
+		BestPerOrigin: n.Opts.BestPerOrigin,
+		Rng:           n.rng,
+	}
+	if n.Opts.WithPKI {
+		runner.Signers = func(ia addr.IA) *cppki.Signer { return n.signers[ia] }
+	}
+	reg, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.registry = reg
+	n.mu.Unlock()
+	return nil
+}
+
+// RefreshControlPlane recomputes segments after topology changes.
+func (n *Network) RefreshControlPlane() error { return n.refreshControlPlane() }
+
+// wireKey identifies a directed circuit by its underlay endpoints.
+type wireKey struct{ from, to netip.AddrPort }
+
+// addWire records a circuit's endpoints in the latency table.
+func (n *Network) addWire(a, b netip.AddrPort, l *topology.Link) {
+	n.wiresMu.Lock()
+	defer n.wiresMu.Unlock()
+	n.wires[wireKey{a, b}] = l
+	n.wires[wireKey{b, a}] = l
+}
+
+// buildDataPlane instantiates a border router per AS and wires the
+// inter-AS links.
+func (n *Network) buildDataPlane() error {
+	for _, as := range n.Topo.ASes() {
+		ia := as.IA
+		r, err := router.New(router.Config{
+			IA:            ia,
+			Key:           n.keys[ia],
+			Net:           n.Transport,
+			UseDispatcher: n.Opts.UseDispatcher,
+			LinkUp: func(ifID uint16) bool {
+				l, ok := n.Topo.LinkAt(topology.LinkEnd{IA: ia, IfID: ifID})
+				return ok && n.Topo.LinkUp(l.ID)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		n.routers[ia] = r
+	}
+	// Wire both ends of every link: one underlay socket per interface,
+	// as in production border routers.
+	n.wires = make(map[wireKey]*topology.Link)
+	for _, l := range n.Topo.Links() {
+		ra := n.routers[l.A.IA]
+		rb := n.routers[l.B.IA]
+		addrA, err := ra.AddInterface(l.A.IfID)
+		if err != nil {
+			return err
+		}
+		addrB, err := rb.AddInterface(l.B.IfID)
+		if err != nil {
+			return err
+		}
+		if err := ra.ConnectInterface(l.A.IfID, addrB); err != nil {
+			return err
+		}
+		if err := rb.ConnectInterface(l.B.IfID, addrA); err != nil {
+			return err
+		}
+		n.addWire(addrA, addrB, l)
+	}
+	// On the simulator, impose per-link propagation delays, per-link
+	// serialization/queueing when a bandwidth cap is set, and drop
+	// traffic crossing downed circuits mid-flight.
+	if sim, ok := n.Transport.(*simnet.Sim); ok {
+		intra := n.Opts.IntraASDelay
+		if intra == 0 {
+			intra = 100 * time.Microsecond
+		}
+		// busyUntil tracks each directed wire's transmit queue.
+		busyUntil := make(map[wireKey]time.Time)
+		var busyMu sync.Mutex
+		sim.Latency = func(from, to netip.AddrPort, size int, now time.Time) (time.Duration, bool) {
+			k := wireKey{from, to}
+			n.wiresMu.Lock()
+			l, ok := n.wires[k]
+			n.wiresMu.Unlock()
+			if ok {
+				if !n.Topo.LinkUp(l.ID) {
+					return 0, false
+				}
+				prop := time.Duration(l.LatencyMS * float64(time.Millisecond))
+				if l.BandwidthMbps <= 0 {
+					return prop, true
+				}
+				// Serialization time plus head-of-line queueing.
+				txTime := time.Duration(float64(size*8) / (l.BandwidthMbps * 1e6) * float64(time.Second))
+				busyMu.Lock()
+				start := now
+				if b, ok := busyUntil[k]; ok && b.After(start) {
+					start = b
+				}
+				busyUntil[k] = start.Add(txTime)
+				busyMu.Unlock()
+				return start.Sub(now) + txTime + prop, true
+			}
+			return intra, true
+		}
+	}
+	return nil
+}
+
+// Router returns the border router of an AS.
+func (n *Network) Router(ia addr.IA) (*router.Router, bool) {
+	r, ok := n.routers[ia]
+	return r, ok
+}
+
+// Key returns an AS's hop key (used by test harnesses and the
+// omniscient verifier).
+func (n *Network) Key(ia addr.IA) scrypto.HopKey { return n.keys[ia] }
+
+// Signer returns an AS's control-plane signer (nil without PKI).
+func (n *Network) Signer(ia addr.IA) *cppki.Signer { return n.signers[ia] }
+
+// TRCs returns the network's TRC store.
+func (n *Network) TRCs() *cppki.Store { return n.trcs }
+
+// Registry returns the current segment registry.
+func (n *Network) Registry() *beacon.Registry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.registry
+}
+
+// Paths performs a path lookup from src to dst: up segments from the
+// source AS, core segments, down segments to the destination, combined
+// into end-to-end paths (sorted by hops, then latency).
+func (n *Network) Paths(src, dst addr.IA) []*combinator.Path {
+	reg := n.Registry()
+	var upSegs []*segment.Segment
+	if db, ok := reg.Up[src]; ok {
+		upSegs = db.All()
+	}
+	downs := reg.Down.Get(0, dst)
+	cores := reg.Core.All()
+	return combinator.Combine(src, dst, upSegs, cores, downs)
+}
+
+// SetLinkUp changes a link's state and refreshes the control plane.
+func (n *Network) SetLinkUp(linkID int, up bool) error {
+	if err := n.Topo.SetLinkUp(linkID, up); err != nil {
+		return err
+	}
+	return n.refreshControlPlane()
+}
+
+// HostAddr allocates an underlay address for an end host inside an AS.
+// On the simulator it is a fresh simulated IP; on UDP it is loopback.
+func (n *Network) HostAddr() netip.AddrPort {
+	if sim, ok := n.Transport.(*simnet.Sim); ok {
+		return netip.AddrPortFrom(sim.AllocAddr(), 0)
+	}
+	return netip.AddrPort{} // UDPNet assigns loopback automatically
+}
+
+// Close shuts down all routers and control services.
+func (n *Network) Close() error {
+	for _, s := range n.services {
+		_ = s.Close()
+	}
+	for _, r := range n.routers {
+		_ = r.Close()
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package cppki implements the SCION control-plane PKI: a per-ISD trust
+// root configuration (TRC) anchoring a hierarchy of x509 certificates
+// (root → CA → AS), with chained TRC updates and quorum voting.
+//
+// The design mirrors the deployment reality described in the paper
+// (Section 4.5): AS certificates are intentionally short-lived (days), so
+// issuance and renewal must be fully automated; see package ca for the
+// smallstep-style online CA built on top of this package.
+package cppki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"sciera/internal/addr"
+)
+
+// Certificate roles within an ISD.
+type CertRole int
+
+const (
+	RoleRoot CertRole = iota // ISD trust root, listed in the TRC
+	RoleCA                   // issuing CA, signed by a root
+	RoleAS                   // per-AS certificate, signed by a CA
+)
+
+func (r CertRole) String() string {
+	switch r {
+	case RoleRoot:
+		return "root"
+	case RoleCA:
+		return "ca"
+	case RoleAS:
+		return "as"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Errors.
+var (
+	ErrExpired      = errors.New("cppki: certificate outside validity period")
+	ErrBadChain     = errors.New("cppki: chain verification failed")
+	ErrNotInTRC     = errors.New("cppki: root certificate not anchored in TRC")
+	ErrWrongSubject = errors.New("cppki: certificate subject mismatch")
+)
+
+// KeyPair wraps an ECDSA P-256 key used for control-plane signatures.
+type KeyPair struct {
+	Private *ecdsa.PrivateKey
+}
+
+// GenerateKey creates a fresh P-256 key pair.
+func GenerateKey() (*KeyPair, error) {
+	k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cppki: generating key: %w", err)
+	}
+	return &KeyPair{Private: k}, nil
+}
+
+// Public returns the public half.
+func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.Private.PublicKey }
+
+var serialCounter int64 = time.Now().UnixNano()
+
+func nextSerial() *big.Int {
+	serialCounter++
+	return big.NewInt(serialCounter)
+}
+
+// subjectFor builds the distinguished name for an IA and role.
+func subjectFor(ia addr.IA, role CertRole) pkix.Name {
+	return pkix.Name{
+		CommonName:   ia.String(),
+		Organization: []string{"SCIERA " + role.String()},
+	}
+}
+
+// NewRootCert creates a self-signed ISD root certificate for the given
+// authoritative core AS.
+func NewRootCert(ia addr.IA, key *KeyPair, notBefore time.Time, validity time.Duration) (*x509.Certificate, error) {
+	tmpl := &x509.Certificate{
+		SerialNumber:          nextSerial(),
+		Subject:               subjectFor(ia, RoleRoot),
+		NotBefore:             notBefore,
+		NotAfter:              notBefore.Add(validity),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, key.Public(), key.Private)
+	if err != nil {
+		return nil, fmt.Errorf("cppki: creating root cert: %w", err)
+	}
+	return x509.ParseCertificate(der)
+}
+
+// NewCACert issues a CA certificate under a root.
+func NewCACert(ia addr.IA, key *KeyPair, root *x509.Certificate, rootKey *KeyPair,
+	notBefore time.Time, validity time.Duration) (*x509.Certificate, error) {
+	tmpl := &x509.Certificate{
+		SerialNumber:          nextSerial(),
+		Subject:               subjectFor(ia, RoleCA),
+		NotBefore:             notBefore,
+		NotAfter:              notBefore.Add(validity),
+		IsCA:                  true,
+		MaxPathLen:            0,
+		MaxPathLenZero:        true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, root, key.Public(), rootKey.Private)
+	if err != nil {
+		return nil, fmt.Errorf("cppki: creating CA cert: %w", err)
+	}
+	return x509.ParseCertificate(der)
+}
+
+// NewASCert issues an AS certificate under a CA. AS certificates are
+// deliberately short-lived (the paper reports "typically just a few
+// days"), forcing renewal automation.
+func NewASCert(ia addr.IA, pub *ecdsa.PublicKey, ca *x509.Certificate, caKey *KeyPair,
+	notBefore time.Time, validity time.Duration) (*x509.Certificate, error) {
+	tmpl := &x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject:      subjectFor(ia, RoleAS),
+		NotBefore:    notBefore,
+		NotAfter:     notBefore.Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca, pub, caKey.Private)
+	if err != nil {
+		return nil, fmt.Errorf("cppki: creating AS cert: %w", err)
+	}
+	return x509.ParseCertificate(der)
+}
+
+// Chain is an AS certificate chain: AS cert plus the issuing CA cert.
+// The CA's root must be anchored in the verifier's TRC.
+type Chain struct {
+	AS *x509.Certificate
+	CA *x509.Certificate
+}
+
+// SubjectIA parses the IA encoded in a certificate subject.
+func SubjectIA(c *x509.Certificate) (addr.IA, error) {
+	return addr.ParseIA(c.Subject.CommonName)
+}
+
+// Validity reports whether t falls within the certificate's validity.
+func Validity(c *x509.Certificate, t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// VerifyChain verifies an AS chain against a TRC at time t: the AS cert
+// must be signed by the CA cert, the CA cert by one of the TRC's roots,
+// all certificates must be valid at t, and the AS cert's subject must be
+// the expected IA (when non-zero).
+func VerifyChain(chain Chain, trc *TRC, expected addr.IA, t time.Time) error {
+	if chain.AS == nil || chain.CA == nil {
+		return fmt.Errorf("%w: incomplete chain", ErrBadChain)
+	}
+	for _, c := range []*x509.Certificate{chain.AS, chain.CA} {
+		if !Validity(c, t) {
+			return fmt.Errorf("%w: %q [%s, %s] at %s",
+				ErrExpired, c.Subject.CommonName, c.NotBefore, c.NotAfter, t)
+		}
+	}
+	if err := chain.AS.CheckSignatureFrom(chain.CA); err != nil {
+		return fmt.Errorf("%w: AS cert not signed by CA: %v", ErrBadChain, err)
+	}
+	root := trc.rootFor(chain.CA)
+	if root == nil {
+		return ErrNotInTRC
+	}
+	if !Validity(root, t) {
+		return fmt.Errorf("%w: root %q", ErrExpired, root.Subject.CommonName)
+	}
+	if !expected.IsZero() {
+		got, err := SubjectIA(chain.AS)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrWrongSubject, err)
+		}
+		if got != expected {
+			return fmt.Errorf("%w: have %v, want %v", ErrWrongSubject, got, expected)
+		}
+	}
+	return nil
+}

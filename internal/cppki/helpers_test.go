@@ -1,0 +1,11 @@
+package cppki
+
+import (
+	"crypto/x509"
+	"testing"
+)
+
+func parseCert(t *testing.T, der []byte) (*x509.Certificate, error) {
+	t.Helper()
+	return x509.ParseCertificate(der)
+}

@@ -1,0 +1,87 @@
+package cppki
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sciera/internal/addr"
+)
+
+// SignedMessage is a control-plane payload signed with an AS certificate,
+// carrying the full chain so any party holding the ISD TRC can verify it.
+// Beacon AS entries and bootstrap topology responses use this envelope.
+type SignedMessage struct {
+	Payload   []byte `json:"payload"`
+	Signature []byte `json:"signature"`
+	ASCertDER []byte `json:"as_cert_der"`
+	CACertDER []byte `json:"ca_cert_der"`
+}
+
+// Signer signs control-plane payloads on behalf of an AS.
+type Signer struct {
+	IA    addr.IA
+	Key   *KeyPair
+	Chain Chain
+}
+
+// Sign wraps payload in a SignedMessage.
+func (s *Signer) Sign(payload []byte) (*SignedMessage, error) {
+	digest := sha256.Sum256(payload)
+	sig, err := ecdsa.SignASN1(rand.Reader, s.Key.Private, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("cppki: signing payload: %w", err)
+	}
+	return &SignedMessage{
+		Payload:   payload,
+		Signature: sig,
+		ASCertDER: s.Chain.AS.Raw,
+		CACertDER: s.Chain.CA.Raw,
+	}, nil
+}
+
+// Verify checks the message against the TRC and returns the payload and
+// the signing AS. If expected is non-zero the signer's IA must match.
+func (m *SignedMessage) Verify(trc *TRC, expected addr.IA, at time.Time) ([]byte, addr.IA, error) {
+	asCert, err := x509.ParseCertificate(m.ASCertDER)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cppki: parsing AS cert: %w", err)
+	}
+	caCert, err := x509.ParseCertificate(m.CACertDER)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cppki: parsing CA cert: %w", err)
+	}
+	chain := Chain{AS: asCert, CA: caCert}
+	if err := VerifyChain(chain, trc, expected, at); err != nil {
+		return nil, 0, err
+	}
+	pub, ok := asCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: AS cert key is not ECDSA", ErrBadChain)
+	}
+	digest := sha256.Sum256(m.Payload)
+	if !ecdsa.VerifyASN1(pub, digest[:], m.Signature) {
+		return nil, 0, fmt.Errorf("%w: payload signature invalid", ErrBadChain)
+	}
+	ia, err := SubjectIA(asCert)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.Payload, ia, nil
+}
+
+// Encode serializes the signed message.
+func (m *SignedMessage) Encode() ([]byte, error) { return json.Marshal(m) }
+
+// DecodeSignedMessage parses a serialized signed message.
+func DecodeSignedMessage(b []byte) (*SignedMessage, error) {
+	var m SignedMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("cppki: decoding signed message: %w", err)
+	}
+	return &m, nil
+}

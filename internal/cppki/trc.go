@@ -1,0 +1,263 @@
+package cppki
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"sciera/internal/addr"
+)
+
+// TRC is a trust root configuration: the trust anchor of an ISD. It names
+// the ISD's core ASes, embeds the root certificates, and defines the
+// voting quorum governing its own evolution. TRC updates are chained: a
+// successor TRC is only valid if signed by a quorum of the predecessor's
+// root keys.
+type TRC struct {
+	ISD           addr.ISD  `json:"isd"`
+	Base          uint64    `json:"base"`   // base number of the update chain
+	Serial        uint64    `json:"serial"` // increments by 1 per update
+	NotBefore     time.Time `json:"not_before"`
+	NotAfter      time.Time `json:"not_after"`
+	CoreASes      []addr.IA `json:"core_ases"`
+	Authoritative []addr.IA `json:"authoritative_ases"`
+	VotingQuorum  int       `json:"voting_quorum"`
+	// RootCertsDER holds the DER encodings of the ISD root certificates.
+	RootCertsDER [][]byte `json:"root_certs_der"`
+
+	// Votes are signatures over the payload by root keys; for a base TRC
+	// they are self-votes by the embedded roots, for updates they must
+	// come from the predecessor's roots.
+	Votes []Vote `json:"votes"`
+
+	roots []*x509.Certificate // lazily decoded
+}
+
+// Vote is a detached signature over the TRC payload.
+type Vote struct {
+	// RootIndex identifies the signing root in the *voting* TRC (the
+	// predecessor for updates, the TRC itself for base TRCs).
+	RootIndex int    `json:"root_index"`
+	Signature []byte `json:"signature"`
+}
+
+// TRC errors.
+var (
+	ErrTRCExpired   = errors.New("cppki: TRC outside validity")
+	ErrQuorum       = errors.New("cppki: insufficient valid votes")
+	ErrNotSuccessor = errors.New("cppki: TRC is not the chain successor")
+	ErrBadSignature = errors.New("cppki: invalid TRC vote signature")
+)
+
+// ID returns the TRC identifier string, e.g. "ISD71-B1-S3".
+func (t *TRC) ID() string {
+	return fmt.Sprintf("ISD%d-B%d-S%d", t.ISD, t.Base, t.Serial)
+}
+
+// payload returns the canonical signed bytes: the JSON encoding with
+// votes stripped.
+func (t *TRC) payload() ([]byte, error) {
+	c := *t
+	c.Votes = nil
+	return json.Marshal(&c)
+}
+
+// Roots returns the decoded root certificates.
+func (t *TRC) Roots() ([]*x509.Certificate, error) {
+	if t.roots != nil {
+		return t.roots, nil
+	}
+	roots := make([]*x509.Certificate, len(t.RootCertsDER))
+	for i, der := range t.RootCertsDER {
+		c, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, fmt.Errorf("cppki: parsing TRC root %d: %w", i, err)
+		}
+		roots[i] = c
+	}
+	t.roots = roots
+	return roots, nil
+}
+
+// rootFor returns the TRC root that signed the given CA cert, or nil.
+func (t *TRC) rootFor(ca *x509.Certificate) *x509.Certificate {
+	roots, err := t.Roots()
+	if err != nil {
+		return nil
+	}
+	for _, r := range roots {
+		if ca.CheckSignatureFrom(r) == nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// IsCore reports whether ia is a core AS of the ISD.
+func (t *TRC) IsCore(ia addr.IA) bool {
+	for _, c := range t.CoreASes {
+		if c == ia {
+			return true
+		}
+	}
+	return false
+}
+
+// Valid reports whether the TRC is within its validity period at time tm.
+func (t *TRC) Valid(tm time.Time) bool {
+	return !tm.Before(t.NotBefore) && !tm.After(t.NotAfter)
+}
+
+// Sign appends a vote by the given root key (identified by its index in
+// the voting TRC's root list).
+func (t *TRC) Sign(rootIndex int, key *KeyPair) error {
+	pl, err := t.payload()
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(pl)
+	sig, err := ecdsa.SignASN1(rand.Reader, key.Private, digest[:])
+	if err != nil {
+		return fmt.Errorf("cppki: signing TRC: %w", err)
+	}
+	t.Votes = append(t.Votes, Vote{RootIndex: rootIndex, Signature: sig})
+	return nil
+}
+
+// verifyVotes counts distinct valid votes against the given voting TRC.
+func (t *TRC) verifyVotes(voting *TRC) (int, error) {
+	roots, err := voting.Roots()
+	if err != nil {
+		return 0, err
+	}
+	pl, err := t.payload()
+	if err != nil {
+		return 0, err
+	}
+	digest := sha256.Sum256(pl)
+	seen := make(map[int]bool)
+	valid := 0
+	for _, v := range t.Votes {
+		if v.RootIndex < 0 || v.RootIndex >= len(roots) || seen[v.RootIndex] {
+			continue
+		}
+		pub, ok := roots[v.RootIndex].PublicKey.(*ecdsa.PublicKey)
+		if !ok {
+			continue
+		}
+		if ecdsa.VerifyASN1(pub, digest[:], v.Signature) {
+			seen[v.RootIndex] = true
+			valid++
+		}
+	}
+	return valid, nil
+}
+
+// VerifyBase checks a base (serial == base) TRC: it must be self-signed
+// by a quorum of its own roots.
+func (t *TRC) VerifyBase(at time.Time) error {
+	if !t.Valid(at) {
+		return ErrTRCExpired
+	}
+	if t.Serial != t.Base {
+		return fmt.Errorf("%w: serial %d != base %d", ErrNotSuccessor, t.Serial, t.Base)
+	}
+	n, err := t.verifyVotes(t)
+	if err != nil {
+		return err
+	}
+	if n < t.VotingQuorum {
+		return fmt.Errorf("%w: %d/%d", ErrQuorum, n, t.VotingQuorum)
+	}
+	return nil
+}
+
+// VerifyUpdate checks that next is a valid successor of prev: same ISD
+// and base, serial incremented by one, and signed by a quorum of prev's
+// roots. This is the "TRC chaining" the bootstrapper relies on after
+// securely obtaining the initial TRC.
+func VerifyUpdate(prev, next *TRC, at time.Time) error {
+	if prev.ISD != next.ISD || prev.Base != next.Base {
+		return fmt.Errorf("%w: ISD/base mismatch", ErrNotSuccessor)
+	}
+	if next.Serial != prev.Serial+1 {
+		return fmt.Errorf("%w: serial %d after %d", ErrNotSuccessor, next.Serial, prev.Serial)
+	}
+	if !next.Valid(at) {
+		return ErrTRCExpired
+	}
+	n, err := next.verifyVotes(prev)
+	if err != nil {
+		return err
+	}
+	if n < prev.VotingQuorum {
+		return fmt.Errorf("%w: %d/%d", ErrQuorum, n, prev.VotingQuorum)
+	}
+	return nil
+}
+
+// Encode serializes the TRC (including votes) to JSON.
+func (t *TRC) Encode() ([]byte, error) { return json.Marshal(t) }
+
+// DecodeTRC parses a serialized TRC.
+func DecodeTRC(b []byte) (*TRC, error) {
+	var t TRC
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("cppki: decoding TRC: %w", err)
+	}
+	return &t, nil
+}
+
+// Store holds the verified TRC chain of one or more ISDs, as maintained
+// by daemons and control services.
+type Store struct {
+	latest map[addr.ISD]*TRC
+}
+
+// NewStore creates an empty TRC store.
+func NewStore() *Store {
+	return &Store{latest: make(map[addr.ISD]*TRC)}
+}
+
+// AddTrusted inserts an initial TRC obtained out-of-band (or via TLS at
+// bootstrap); it is verified as a base TRC.
+func (s *Store) AddTrusted(t *TRC, at time.Time) error {
+	if err := t.VerifyBase(at); err != nil {
+		return err
+	}
+	s.latest[t.ISD] = t
+	return nil
+}
+
+// Update applies a successor TRC, verifying the chain.
+func (s *Store) Update(next *TRC, at time.Time) error {
+	prev, ok := s.latest[next.ISD]
+	if !ok {
+		return fmt.Errorf("cppki: no trusted TRC for ISD %d", next.ISD)
+	}
+	if err := VerifyUpdate(prev, next, at); err != nil {
+		return err
+	}
+	s.latest[next.ISD] = next
+	return nil
+}
+
+// Get returns the latest TRC for an ISD.
+func (s *Store) Get(isd addr.ISD) (*TRC, bool) {
+	t, ok := s.latest[isd]
+	return t, ok
+}
+
+// ISDs lists the ISDs with a trusted TRC.
+func (s *Store) ISDs() []addr.ISD {
+	out := make([]addr.ISD, 0, len(s.latest))
+	for isd := range s.latest {
+		out = append(out, isd)
+	}
+	return out
+}

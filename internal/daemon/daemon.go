@@ -1,0 +1,210 @@
+// Package daemon implements the SCION end-host daemon: the component
+// that owns all interactions with the control plane on behalf of
+// applications — path lookup and combination, path caching, TRC storage,
+// and knowledge of the AS-local infrastructure (border router and
+// control service addresses).
+//
+// The daemon can be shared by many applications on a host
+// (daemon-dependent mode) or embedded directly inside an application
+// process by the pan library (bootstrapper-dependent and standalone
+// modes, Section 4.2.1) — the code is identical, only the ownership
+// differs.
+package daemon
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/control"
+	"sciera/internal/cppki"
+	"sciera/internal/simnet"
+)
+
+// Info is the AS-local environment the daemon operates in — the product
+// of bootstrapping (package bootstrap).
+type Info struct {
+	LocalIA addr.IA
+	// RouterAddr is the border router's intra-AS underlay address.
+	RouterAddr netip.AddrPort
+	// ControlAddr is the control service's underlay address.
+	ControlAddr netip.AddrPort
+}
+
+// Daemon caches paths and trust material for one AS.
+type Daemon struct {
+	info Info
+	net  simnet.Network
+	cli  *control.Client
+
+	// CacheTTL bounds how long combined paths are served from cache
+	// (default 60s, well below segment expiry).
+	CacheTTL time.Duration
+
+	mu    sync.Mutex
+	trcs  *cppki.Store
+	cache map[addr.IA]cacheEntry
+
+	lookups, hits uint64
+}
+
+type cacheEntry struct {
+	paths   []*combinator.Path
+	expires time.Time
+}
+
+// New creates a daemon and its control-service client.
+func New(net simnet.Network, info Info, clientAddr netip.AddrPort) (*Daemon, error) {
+	cli, err := control.NewClient(net, info.ControlAddr, clientAddr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon %v: %w", info.LocalIA, err)
+	}
+	return &Daemon{
+		info:     info,
+		net:      net,
+		cli:      cli,
+		CacheTTL: time.Minute,
+		trcs:     cppki.NewStore(),
+		cache:    make(map[addr.IA]cacheEntry),
+	}, nil
+}
+
+// Info returns the daemon's environment.
+func (d *Daemon) Info() Info { return d.info }
+
+// LocalIA returns the daemon's AS.
+func (d *Daemon) LocalIA() addr.IA { return d.info.LocalIA }
+
+// TRCs exposes the daemon's trust store.
+func (d *Daemon) TRCs() *cppki.Store { return d.trcs }
+
+// Close shuts the daemon down.
+func (d *Daemon) Close() error { return d.cli.Close() }
+
+// Stats reports lookup and cache-hit counts.
+func (d *Daemon) Stats() (lookups, hits uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lookups, d.hits
+}
+
+// PathsAsync resolves paths to dst, from cache when fresh, otherwise by
+// querying the control service and combining segments. The callback is
+// invoked exactly once.
+func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
+	now := d.net.Now()
+	d.mu.Lock()
+	d.lookups++
+	if e, ok := d.cache[dst]; ok && now.Before(e.expires) {
+		d.hits++
+		paths := e.paths
+		d.mu.Unlock()
+		cb(paths, nil)
+		return
+	}
+	d.mu.Unlock()
+
+	if dst == d.info.LocalIA {
+		// AS-internal: the empty path.
+		cb([]*combinator.Path{{Src: dst, Dst: dst, Fingerprint: "empty"}}, nil)
+		return
+	}
+
+	d.cli.Do(&control.Request{Type: "paths", Dst: dst}, func(resp *control.Response, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if resp.Error != "" {
+			cb(nil, fmt.Errorf("daemon: control service: %s", resp.Error))
+			return
+		}
+		ups, err := control.DecodeSegments(resp.Ups)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cores, err := control.DecodeSegments(resp.Cores)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		downs, err := control.DecodeSegments(resp.Downs)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		paths := combinator.Combine(d.info.LocalIA, dst, ups, cores, downs)
+		// Drop already-expired paths.
+		now := d.net.Now()
+		fresh := paths[:0]
+		for _, p := range paths {
+			if p.Expiry.After(now) {
+				fresh = append(fresh, p)
+			}
+		}
+		paths = fresh
+		d.mu.Lock()
+		d.cache[dst] = cacheEntry{paths: paths, expires: now.Add(d.CacheTTL)}
+		d.mu.Unlock()
+		cb(paths, nil)
+	})
+}
+
+// Paths is the blocking variant of PathsAsync (see control.Client.DoSync
+// for transport caveats).
+func (d *Daemon) Paths(dst addr.IA) ([]*combinator.Path, error) {
+	type result struct {
+		paths []*combinator.Path
+		err   error
+	}
+	ch := make(chan result, 1)
+	d.PathsAsync(dst, func(p []*combinator.Path, err error) { ch <- result{p, err} })
+	res := <-ch
+	return res.paths, res.err
+}
+
+// FlushCache clears cached paths (e.g. after an SCMP interface-down
+// revocation makes cached paths suspect).
+func (d *Daemon) FlushCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache = make(map[addr.IA]cacheEntry)
+}
+
+// FetchTRCAsync retrieves and verifies the TRC for an ISD from the
+// control service. An initial TRC is verified as a base TRC; successors
+// must chain from the stored one.
+func (d *Daemon) FetchTRCAsync(isd addr.ISD, cb func(*cppki.TRC, error)) {
+	d.cli.Do(&control.Request{Type: "trc", ISD: isd}, func(resp *control.Response, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if resp.Error != "" {
+			cb(nil, fmt.Errorf("daemon: control service: %s", resp.Error))
+			return
+		}
+		trc, err := cppki.DecodeTRC(resp.TRC)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		now := d.net.Now()
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if _, ok := d.trcs.Get(isd); ok {
+			if err := d.trcs.Update(trc, now); err != nil {
+				cb(nil, err)
+				return
+			}
+		} else if err := d.trcs.AddTrusted(trc, now); err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(trc, nil)
+	})
+}

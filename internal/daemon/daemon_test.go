@@ -1,0 +1,188 @@
+package daemon_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/core"
+	"sciera/internal/cppki"
+	"sciera/internal/daemon"
+	"sciera/internal/simnet"
+	"sciera/internal/topology"
+)
+
+var (
+	c1 = addr.MustParseIA("71-1")
+	c2 = addr.MustParseIA("71-2")
+	lA = addr.MustParseIA("71-10")
+	lB = addr.MustParseIA("71-11")
+)
+
+func buildNet(t testing.TB, sim *simnet.Sim, opts core.Options) *core.Network {
+	t.Helper()
+	topo := topology.New()
+	for _, ia := range []addr.IA{c1, c2} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia, Core: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ia := range []addr.IA{lA, lB} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(a, b addr.IA, typ topology.LinkType, lat float64) {
+		if _, err := topo.AddLink(topology.LinkEnd{IA: a}, topology.LinkEnd{IA: b}, typ, lat, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(c1, c2, topology.LinkCore, 20)
+	link(c1, lA, topology.LinkParent, 5)
+	link(c2, lB, topology.LinkParent, 5)
+	n, err := core.Build(topo, sim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func lookupSync(t *testing.T, sim *simnet.Sim, d *daemon.Daemon, dst addr.IA) ([]*combinator.Path, error) {
+	t.Helper()
+	var paths []*combinator.Path
+	var lerr error
+	done := false
+	d.PathsAsync(dst, func(p []*combinator.Path, err error) {
+		paths, lerr, done = p, err, true
+	})
+	sim.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("lookup did not complete")
+	}
+	return paths, lerr
+}
+
+func TestPathsLookupAndCache(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, err := n.NewDaemon(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	paths, err := lookupSync(t, sim, d, lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		if p.Src != lA || p.Dst != lB {
+			t.Errorf("endpoints %v -> %v", p.Src, p.Dst)
+		}
+	}
+	// Second lookup hits the cache.
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	lookups, hits := d.Stats()
+	if lookups != 2 || hits != 1 {
+		t.Errorf("stats = %d lookups, %d hits", lookups, hits)
+	}
+	// Flush clears it.
+	d.FlushCache()
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	if _, hits := d.Stats(); hits != 1 {
+		t.Errorf("hits after flush = %d", hits)
+	}
+}
+
+func TestCacheExpiresWithTTL(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, _ := n.NewDaemon(lA)
+	defer d.Close()
+	d.CacheTTL = 30 * time.Second
+
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Minute) // TTL passes
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	if _, hits := d.Stats(); hits != 0 {
+		t.Errorf("hits = %d, want 0 after TTL expiry", hits)
+	}
+}
+
+func TestLocalASPaths(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, _ := n.NewDaemon(lA)
+	defer d.Close()
+	paths, err := lookupSync(t, sim, d, lA)
+	if err != nil || len(paths) != 1 || paths[0].Fingerprint != "empty" {
+		t.Fatalf("local paths = %v, %v", paths, err)
+	}
+}
+
+func TestFetchTRC(t *testing.T) {
+	sim := simnet.NewSim(time.Now())
+	n := buildNet(t, sim, core.Options{Seed: 1, WithPKI: true})
+	defer n.Close()
+	d, _ := n.NewDaemon(lA)
+	defer d.Close()
+
+	var got *cppki.TRC
+	var trcErr error
+	d.FetchTRCAsync(71, func(trc *cppki.TRC, err error) { got, trcErr = trc, err })
+	sim.RunFor(10 * time.Second)
+	if trcErr != nil {
+		t.Fatal(trcErr)
+	}
+	if got == nil || got.ISD != 71 {
+		t.Fatalf("trc = %+v", got)
+	}
+	// The TRC is now in the daemon's verified store.
+	if _, ok := d.TRCs().Get(71); !ok {
+		t.Error("TRC not stored")
+	}
+	// Unknown ISD errors.
+	trcErr = nil
+	d.FetchTRCAsync(99, func(trc *cppki.TRC, err error) { trcErr = err })
+	sim.RunFor(10 * time.Second)
+	if trcErr == nil {
+		t.Error("unknown ISD TRC fetch succeeded")
+	}
+}
+
+func TestInfoAccessors(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, _ := n.NewDaemon(lA)
+	defer d.Close()
+	if d.LocalIA() != lA {
+		t.Errorf("LocalIA = %v", d.LocalIA())
+	}
+	info := d.Info()
+	if !info.RouterAddr.IsValid() || !info.ControlAddr.IsValid() {
+		t.Errorf("info = %+v", info)
+	}
+	if d.TRCs() == nil {
+		t.Error("TRCs nil")
+	}
+	if _, err := daemon.New(sim, daemon.Info{LocalIA: lA}, netip.AddrPort{}); err != nil {
+		t.Errorf("daemon with zero CS addr should still construct: %v", err)
+	}
+}

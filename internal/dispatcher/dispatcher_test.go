@@ -1,0 +1,274 @@
+package dispatcher
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/simnet"
+	"sciera/internal/slayers"
+)
+
+func pktFor(t *testing.T, port uint16) []byte {
+	t.Helper()
+	p := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   addr.MustParseIA("71-1"),
+			SrcIA:   addr.MustParseIA("71-2"),
+			DstHost: netip.MustParseAddr("10.0.0.1"),
+			SrcHost: netip.MustParseAddr("10.0.0.2"),
+		},
+		UDP:     &slayers.UDP{SrcPort: 1, DstPort: port},
+		Payload: []byte("x"),
+	}
+	raw, err := p.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestDemuxToRegisteredApps(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	d, err := Start(sim, sim.AllocAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	recv := map[uint16]int{}
+	register := func(port uint16) {
+		conn, err := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) { recv[port]++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Register(port, conn.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	register(100)
+	register(200)
+
+	sender, _ := sim.Listen(netip.AddrPort{}, nil)
+	_ = sender.Send(pktFor(t, 100), d.Addr())
+	_ = sender.Send(pktFor(t, 200), d.Addr())
+	_ = sender.Send(pktFor(t, 200), d.Addr())
+	_ = sender.Send(pktFor(t, 999), d.Addr()) // unregistered
+	_ = sender.Send([]byte("garbage"), d.Addr())
+	sim.Run()
+
+	if recv[100] != 1 || recv[200] != 2 {
+		t.Errorf("recv = %v", recv)
+	}
+	if d.Forwarded.Load() != 3 {
+		t.Errorf("forwarded = %d", d.Forwarded.Load())
+	}
+	if d.Dropped.Load() != 2 {
+		t.Errorf("dropped = %d", d.Dropped.Load())
+	}
+}
+
+func TestPortContention(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	d, err := Start(sim, sim.AllocAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	a := netip.MustParseAddrPort("10.1.1.1:1000")
+	b := netip.MustParseAddrPort("10.1.1.2:2000")
+	if err := d.Register(80, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(80, a); err != nil {
+		t.Error("re-registering same app failed")
+	}
+	if err := d.Register(80, b); err == nil {
+		t.Error("port takeover accepted — the dispatcher's contention problem should be explicit")
+	}
+	d.Unregister(80)
+	if err := d.Register(80, b); err != nil {
+		t.Errorf("register after unregister: %v", err)
+	}
+}
+
+func TestSCMPDemux(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	d, err := Start(sim, sim.AllocAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got := 0
+	conn, _ := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) { got++ })
+	if err := d.Register(555, conn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Echo reply demuxes on Identifier.
+	reply := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   addr.MustParseIA("71-1"),
+			SrcIA:   addr.MustParseIA("71-2"),
+			DstHost: netip.MustParseAddr("10.0.0.1"),
+			SrcHost: netip.MustParseAddr("10.0.0.2"),
+		},
+		SCMP: &slayers.SCMP{Type: slayers.SCMPEchoReply, Identifier: 555},
+	}
+	raw, _ := reply.Serialize(nil)
+	sender, _ := sim.Listen(netip.AddrPort{}, nil)
+	_ = sender.Send(raw, d.Addr())
+
+	// An SCMP error demuxes on the quoted packet's source port.
+	quoted := &slayers.Packet{
+		Hdr: reply.Hdr,
+		UDP: &slayers.UDP{SrcPort: 555, DstPort: 9},
+	}
+	quotedRaw, _ := quoted.Serialize(nil)
+	errPkt := &slayers.Packet{
+		Hdr:     reply.Hdr,
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPDestinationUnreachable},
+		Payload: quotedRaw,
+	}
+	errRaw, _ := errPkt.Serialize(nil)
+	_ = sender.Send(errRaw, d.Addr())
+	sim.Run()
+	if got != 2 {
+		t.Errorf("demuxed %d of 2 SCMP packets", got)
+	}
+}
+
+// TestDropPaths covers the dispatcher's drop rules: undecodable
+// datagrams, packets without a demuxable port, unregistered ports, and
+// SCMP errors routed by their quote.
+func TestDropPaths(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	d, err := Start(sim, sim.AllocAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	send := func(raw []byte) {
+		conn, err := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Send(raw, d.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run()
+	}
+
+	// Garbage datagram.
+	send([]byte{0xff, 0x00, 0x01})
+	if d.Dropped.Load() != 1 {
+		t.Fatalf("dropped = %d after garbage", d.Dropped.Load())
+	}
+
+	// Valid packet, unregistered port.
+	send(pktFor(t, 9999))
+	if d.Dropped.Load() != 2 {
+		t.Fatalf("dropped = %d after unregistered port", d.Dropped.Load())
+	}
+
+	// SCMP error with an undecodable quote: no port to demux to.
+	noQuote := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   addr.MustParseIA("71-1"),
+			SrcIA:   addr.MustParseIA("71-2"),
+			DstHost: netip.MustParseAddr("10.0.0.1"),
+			SrcHost: netip.MustParseAddr("10.0.0.2"),
+		},
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPDestinationUnreachable},
+		Payload: []byte{0x01},
+	}
+	raw, err := noQuote.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(raw)
+	if d.Dropped.Load() != 3 {
+		t.Fatalf("dropped = %d after unquotable SCMP error", d.Dropped.Load())
+	}
+
+	// SCMP error quoting a UDP packet: routed to the quoted source port.
+	var got []byte
+	app, err := sim.Listen(netip.AddrPort{}, func(pkt []byte, _ netip.AddrPort) {
+		got = append([]byte(nil), pkt...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := d.Register(4321, app.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	quoted := &slayers.Packet{
+		Hdr: noQuote.Hdr,
+		UDP: &slayers.UDP{SrcPort: 4321, DstPort: 80},
+	}
+	quoteRaw, err := quoted.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPkt := &slayers.Packet{
+		Hdr:     noQuote.Hdr,
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPDestinationUnreachable},
+		Payload: quoteRaw,
+	}
+	raw, err = errPkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(raw)
+	if got == nil {
+		t.Fatal("SCMP error not routed to the quoted UDP source port")
+	}
+
+	// Unregister: the port stops receiving.
+	d.Unregister(4321)
+	got = nil
+	send(raw)
+	if got != nil {
+		t.Error("unregistered port still receives")
+	}
+}
+
+// TestDemuxQuotedSCMPIdentifier: an error quoting a probe (SCMP echo)
+// demuxes on the quoted identifier.
+func TestDemuxQuotedSCMPIdentifier(t *testing.T) {
+	hdr := slayers.SCION{
+		DstIA:   addr.MustParseIA("71-1"),
+		SrcIA:   addr.MustParseIA("71-2"),
+		DstHost: netip.MustParseAddr("10.0.0.1"),
+		SrcHost: netip.MustParseAddr("10.0.0.2"),
+	}
+	quoted := &slayers.Packet{
+		Hdr:  hdr,
+		SCMP: &slayers.SCMP{Type: slayers.SCMPEchoRequest, Identifier: 5150, SeqNo: 1},
+	}
+	quoteRaw, err := quoted.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPkt := &slayers.Packet{
+		Hdr:     hdr,
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPExternalInterfaceDown},
+		Payload: quoteRaw,
+	}
+	var p slayers.Packet
+	raw, err := errPkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	port, ok := demuxPort(&p)
+	if !ok || port != 5150 {
+		t.Fatalf("demuxPort = %d,%v, want 5150", port, ok)
+	}
+}

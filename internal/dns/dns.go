@@ -1,0 +1,341 @@
+// Package dns implements a compact RFC 1035 wire codec covering the
+// record types the SCION bootstrapper's DNS-based discovery mechanisms
+// need: A, PTR, TXT, SRV (RFC 2782) and NAPTR (RFC 2915). It serves the
+// simulated resolvers and mDNS responders in package bootstrap; name
+// compression is not emitted and compressed names are rejected (both
+// peers are this codec).
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types.
+const (
+	TypeA     uint16 = 1
+	TypePTR   uint16 = 12
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+	TypeSRV   uint16 = 33
+	TypeNAPTR uint16 = 35
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Errors.
+var (
+	ErrTruncated  = errors.New("dns: truncated message")
+	ErrBadName    = errors.New("dns: malformed name")
+	ErrCompressed = errors.New("dns: compressed names not supported")
+)
+
+// Question is one query.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Record is one resource record. Exactly one of the typed payloads is
+// meaningful, matching Type.
+type Record struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+
+	A     netip.Addr // TypeA / TypeAAAA
+	PTR   string     // TypePTR
+	TXT   []string   // TypeTXT
+	SRV   SRV        // TypeSRV
+	NAPTR NAPTR      // TypeNAPTR
+}
+
+// SRV is an RFC 2782 service record payload.
+type SRV struct {
+	Priority, Weight, Port uint16
+	Target                 string
+}
+
+// NAPTR is an RFC 2915 naming-authority pointer payload.
+type NAPTR struct {
+	Order, Preference uint16
+	Flags, Service    string
+	Regexp            string
+	Replacement       string
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        uint16
+	Response  bool
+	Questions []Question
+	Answers   []Record
+}
+
+// Encode renders the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 12, 512)
+	binary.BigEndian.PutUint16(b[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000 | 0x0400 // QR + AA
+	}
+	binary.BigEndian.PutUint16(b[2:4], flags)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(m.Answers)))
+	for _, q := range m.Questions {
+		nb, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, nb...)
+		b = appendU16(b, q.Type)
+		b = appendU16(b, q.Class)
+	}
+	for _, r := range m.Answers {
+		rb, err := r.encode()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, rb...)
+	}
+	return b, nil
+}
+
+func (r *Record) encode() ([]byte, error) {
+	nb, err := encodeName(r.Name)
+	if err != nil {
+		return nil, err
+	}
+	b := append([]byte{}, nb...)
+	b = appendU16(b, r.Type)
+	b = appendU16(b, r.Class)
+	var ttl [4]byte
+	binary.BigEndian.PutUint32(ttl[:], r.TTL)
+	b = append(b, ttl[:]...)
+
+	var rdata []byte
+	switch r.Type {
+	case TypeA, TypeAAAA:
+		if !r.A.IsValid() {
+			return nil, fmt.Errorf("dns: A record %q without address", r.Name)
+		}
+		rdata = r.A.AsSlice()
+	case TypePTR:
+		rdata, err = encodeName(r.PTR)
+		if err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range r.TXT {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("dns: TXT string too long")
+			}
+			rdata = append(rdata, byte(len(s)))
+			rdata = append(rdata, s...)
+		}
+	case TypeSRV:
+		rdata = appendU16(rdata, r.SRV.Priority)
+		rdata = appendU16(rdata, r.SRV.Weight)
+		rdata = appendU16(rdata, r.SRV.Port)
+		tb, err := encodeName(r.SRV.Target)
+		if err != nil {
+			return nil, err
+		}
+		rdata = append(rdata, tb...)
+	case TypeNAPTR:
+		rdata = appendU16(rdata, r.NAPTR.Order)
+		rdata = appendU16(rdata, r.NAPTR.Preference)
+		for _, s := range []string{r.NAPTR.Flags, r.NAPTR.Service, r.NAPTR.Regexp} {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("dns: NAPTR string too long")
+			}
+			rdata = append(rdata, byte(len(s)))
+			rdata = append(rdata, s...)
+		}
+		tb, err := encodeName(r.NAPTR.Replacement)
+		if err != nil {
+			return nil, err
+		}
+		rdata = append(rdata, tb...)
+	default:
+		return nil, fmt.Errorf("dns: cannot encode record type %d", r.Type)
+	}
+	b = appendU16(b, uint16(len(rdata)))
+	return append(b, rdata...), nil
+}
+
+// Decode parses a message.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{
+		ID:       binary.BigEndian.Uint16(b[0:2]),
+		Response: binary.BigEndian.Uint16(b[2:4])&0x8000 != 0,
+	}
+	qd := int(binary.BigEndian.Uint16(b[4:6]))
+	an := int(binary.BigEndian.Uint16(b[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+4 > len(b) {
+			return nil, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off : off+2]),
+			Class: binary.BigEndian.Uint16(b[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		r, n, err := decodeRecord(b, off)
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, r)
+		off += n
+	}
+	return m, nil
+}
+
+func decodeRecord(b []byte, off int) (Record, int, error) {
+	start := off
+	name, n, err := decodeName(b, off)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	off += n
+	if off+10 > len(b) {
+		return Record{}, 0, ErrTruncated
+	}
+	r := Record{
+		Name:  name,
+		Type:  binary.BigEndian.Uint16(b[off : off+2]),
+		Class: binary.BigEndian.Uint16(b[off+2 : off+4]),
+		TTL:   binary.BigEndian.Uint32(b[off+4 : off+8]),
+	}
+	rdlen := int(binary.BigEndian.Uint16(b[off+8 : off+10]))
+	off += 10
+	if off+rdlen > len(b) {
+		return Record{}, 0, ErrTruncated
+	}
+	rdata := b[off : off+rdlen]
+	off += rdlen
+
+	switch r.Type {
+	case TypeA, TypeAAAA:
+		a, ok := netip.AddrFromSlice(rdata)
+		if !ok {
+			return Record{}, 0, fmt.Errorf("dns: bad address length %d", rdlen)
+		}
+		r.A = a
+	case TypePTR:
+		ptr, _, err := decodeName(rdata, 0)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		r.PTR = ptr
+	case TypeTXT:
+		for p := 0; p < len(rdata); {
+			l := int(rdata[p])
+			p++
+			if p+l > len(rdata) {
+				return Record{}, 0, ErrTruncated
+			}
+			r.TXT = append(r.TXT, string(rdata[p:p+l]))
+			p += l
+		}
+	case TypeSRV:
+		if len(rdata) < 7 {
+			return Record{}, 0, ErrTruncated
+		}
+		r.SRV.Priority = binary.BigEndian.Uint16(rdata[0:2])
+		r.SRV.Weight = binary.BigEndian.Uint16(rdata[2:4])
+		r.SRV.Port = binary.BigEndian.Uint16(rdata[4:6])
+		target, _, err := decodeName(rdata, 6)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		r.SRV.Target = target
+	case TypeNAPTR:
+		if len(rdata) < 4 {
+			return Record{}, 0, ErrTruncated
+		}
+		r.NAPTR.Order = binary.BigEndian.Uint16(rdata[0:2])
+		r.NAPTR.Preference = binary.BigEndian.Uint16(rdata[2:4])
+		p := 4
+		for _, dst := range []*string{&r.NAPTR.Flags, &r.NAPTR.Service, &r.NAPTR.Regexp} {
+			if p >= len(rdata) {
+				return Record{}, 0, ErrTruncated
+			}
+			l := int(rdata[p])
+			p++
+			if p+l > len(rdata) {
+				return Record{}, 0, ErrTruncated
+			}
+			*dst = string(rdata[p : p+l])
+			p += l
+		}
+		repl, _, err := decodeName(rdata, p)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		r.NAPTR.Replacement = repl
+	}
+	return r, off - start, nil
+}
+
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	var b []byte
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	n := 0
+	for {
+		if off+n >= len(b) {
+			return "", 0, ErrTruncated
+		}
+		l := int(b[off+n])
+		if l&0xc0 == 0xc0 {
+			return "", 0, ErrCompressed
+		}
+		n++
+		if l == 0 {
+			break
+		}
+		if off+n+l > len(b) {
+			return "", 0, ErrTruncated
+		}
+		labels = append(labels, string(b[off+n:off+n+l]))
+		n += l
+	}
+	return strings.Join(labels, "."), n, nil
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"crypto/x509"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/bootstrap"
+	"sciera/internal/cppki"
+	"sciera/internal/simnet"
+	"sciera/internal/stats"
+)
+
+// OSProfile models the platform differences behind Figure 4's three
+// distributions: resolver behaviour, socket setup cost, and scheduling
+// jitter differ between Windows, Linux and macOS.
+type OSProfile struct {
+	Name string
+	// BaseMS is the fixed per-exchange stack overhead.
+	BaseMS float64
+	// JitterMS scales exponential per-exchange jitter.
+	JitterMS float64
+	// FetchExtraMS adds HTTP-stack overhead to config retrieval.
+	FetchExtraMS float64
+}
+
+// OSProfiles returns the Figure 4 platforms. The offsets are modelling
+// choices (documented in DESIGN.md): Windows carries the heaviest
+// network-stack overhead, Linux the lightest.
+func OSProfiles() []OSProfile {
+	return []OSProfile{
+		{Name: "Windows", BaseMS: 13, JitterMS: 18, FetchExtraMS: 18},
+		{Name: "Linux", BaseMS: 4, JitterMS: 8, FetchExtraMS: 8},
+		{Name: "Mac", BaseMS: 9, JitterMS: 14, FetchExtraMS: 14},
+	}
+}
+
+// BootstrapRun is one measured bootstrap execution.
+type BootstrapRun struct {
+	OS        string
+	Mechanism bootstrap.Mechanism
+	Hint      time.Duration
+	Fetch     time.Duration
+}
+
+// Figure4Runs executes the bootstrapping benchmark: runs per hinting
+// mechanism per OS on a simulated campus LAN (30 runs each, like the
+// paper).
+func Figure4Runs(seed int64, runsPer int) ([]BootstrapRun, error) {
+	var out []BootstrapRun
+	rng := rand.New(rand.NewSource(seed))
+	for _, osp := range OSProfiles() {
+		for _, mech := range bootstrap.AllMechanisms() {
+			for run := 0; run < runsPer; run++ {
+				r, err := oneBootstrap(rng.Int63(), osp, mech)
+				if err != nil {
+					return nil, fmt.Errorf("bootstrap %s/%v: %w", osp.Name, mech, err)
+				}
+				out = append(out, *r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// oneBootstrap runs a single bootstrap on a fresh simulated LAN.
+func oneBootstrap(seed int64, osp OSProfile, mech bootstrap.Mechanism) (*BootstrapRun, error) {
+	sim := simnet.NewSim(time.Unix(1_737_000_000, 0))
+	rng := rand.New(rand.NewSource(seed))
+	// Per-exchange latency: half the OS base each way plus exponential
+	// jitter; config retrieval (to the bootstrap server, which lives
+	// deeper in the network) pays the extra HTTP-stack cost.
+	serverHosts := make(map[netip.Addr]bool)
+	sim.Latency = func(from, to netip.AddrPort, _ int, _ time.Time) (time.Duration, bool) {
+		ms := osp.BaseMS/2 + rng.ExpFloat64()*osp.JitterMS/2
+		if serverHosts[to.Addr()] || serverHosts[from.Addr()] {
+			ms += osp.FetchExtraMS / 2
+		}
+		return time.Duration(ms * float64(time.Millisecond)), true
+	}
+
+	ia := addr.MustParseIA("71-2:0:5c")
+	p, err := cppki.ProvisionISD(71, []addr.IA{ia}, []addr.IA{ia},
+		cppki.ProvisionOptions{NotBefore: sim.Now().Add(-time.Hour)})
+	if err != nil {
+		return nil, err
+	}
+	trcs := cppki.NewStore()
+	if err := trcs.AddTrusted(p.TRC, sim.Now()); err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(p.CACerts[ia].Cert)
+	if err != nil {
+		return nil, err
+	}
+	asKey, err := cppki.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	asCert, err := cppki.NewASCert(ia, asKey.Public(), caCert, p.CACerts[ia].Key,
+		sim.Now().Add(-time.Minute), 72*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	server := &bootstrap.Server{
+		Topology: bootstrap.TopologyFile{
+			IA:          ia,
+			RouterAddr:  netip.MustParseAddrPort("10.9.9.1:30001"),
+			ControlAddr: netip.MustParseAddrPort("10.9.9.2:30002"),
+		},
+		Signer: &cppki.Signer{IA: ia, Key: asKey, Chain: cppki.Chain{AS: asCert, CA: caCert}},
+		TRCs:   trcs,
+	}
+	if err := server.Start(sim, netip.AddrPortFrom(sim.AllocAddr(), bootstrap.PortBootstrap)); err != nil {
+		return nil, err
+	}
+	serverHosts[server.Addr().Addr()] = true
+
+	lan, err := bootstrap.StartLAN(sim, sim.AllocAddr, bootstrap.LANConfig{
+		BootstrapServer: server.Addr(),
+		SearchDomain:    "campus.example.edu",
+		DHCPVIVO:        true, DHCPOption72: true, DHCPv6VSIO: true,
+		NDPRA: true, DNSSRV: true, DNSNAPTR: true, DNSSD: true, MDNS: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer lan.Close()
+
+	cli, err := bootstrap.NewClient(sim, netip.AddrPort{}, bootstrap.Env{
+		SearchDomain: "campus.example.edu",
+		DNSResolver:  lan.DNSAddr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	cli.Timeout = 10 * time.Second
+
+	var res *bootstrap.Result
+	var berr error
+	cli.Bootstrap([]bootstrap.Mechanism{mech}, func(r *bootstrap.Result, err error) {
+		res, berr = r, err
+	})
+	sim.RunFor(time.Minute)
+	if berr != nil {
+		return nil, berr
+	}
+	if res == nil {
+		return nil, fmt.Errorf("bootstrap did not complete")
+	}
+	return &BootstrapRun{OS: osp.Name, Mechanism: mech, Hint: res.HintTime, Fetch: res.FetchTime}, nil
+}
+
+// Figure4 prints the hint/config/total latency distributions per OS,
+// aggregated over hinting mechanisms as in the paper's box plot.
+func Figure4(w io.Writer, cfg Config) error {
+	section(w, "Figure 4: Bootstrapping latency per platform (hint, config, total)")
+	runsPer := 30
+	if cfg.Quick {
+		runsPer = 5
+	}
+	runs, err := Figure4Runs(cfg.Seed, runsPer)
+	if err != nil {
+		return err
+	}
+	byOS := make(map[string]*[3]stats.CDF)
+	for _, r := range runs {
+		c, ok := byOS[r.OS]
+		if !ok {
+			c = &[3]stats.CDF{}
+			byOS[r.OS] = c
+		}
+		hint := float64(r.Hint) / float64(time.Millisecond)
+		fetch := float64(r.Fetch) / float64(time.Millisecond)
+		c[0].Add(hint)
+		c[1].Add(fetch)
+		c[2].Add(hint + fetch)
+	}
+	t := stats.Table{Header: []string{"OS", "phase", "p25 (ms)", "median (ms)", "p75 (ms)", "max (ms)"}}
+	for _, osp := range OSProfiles() {
+		c := byOS[osp.Name]
+		for i, phase := range []string{"hint retrieval", "config retrieval", "total"} {
+			t.AddRow(osp.Name, phase,
+				fmt.Sprintf("%.0f", c[i].Percentile(25)),
+				fmt.Sprintf("%.0f", c[i].Median()),
+				fmt.Sprintf("%.0f", c[i].Percentile(75)),
+				fmt.Sprintf("%.0f", c[i].Max()))
+		}
+	}
+	fmt.Fprint(w, t.Render())
+	// The paper's headline: total medians under 150 ms on every OS.
+	fmt.Fprintln(w, "\npaper: median total < 150 ms on all platforms (imperceptible)")
+
+	// Per-mechanism medians (total), pooled over OSes.
+	byMech := make(map[bootstrap.Mechanism]*stats.CDF)
+	for _, r := range runs {
+		c, ok := byMech[r.Mechanism]
+		if !ok {
+			c = &stats.CDF{}
+			byMech[r.Mechanism] = c
+		}
+		c.Add(float64(r.Hint+r.Fetch) / float64(time.Millisecond))
+	}
+	mt := stats.Table{Header: []string{"mechanism", "median total (ms)"}}
+	for _, m := range bootstrap.AllMechanisms() {
+		mt.AddRow(m.String(), fmt.Sprintf("%.0f", byMech[m].Median()))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, mt.Render())
+	return nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sciera/internal/addr"
+	"sciera/internal/bootstrap"
+	"sciera/internal/sciera"
+	"sciera/internal/stats"
+	"sciera/internal/topology"
+)
+
+// Figure10c runs the link-failure resilience simulation: in each of 100
+// runs, links are removed one at a time in random order; after each
+// removal the fraction of AS pairs that still have connectivity is
+// recorded — once for multipath (any route) and once for single-path
+// routing (only the initially selected shortest path, which dies with
+// its first removed link).
+func Figure10c(w io.Writer, cfg Config) error {
+	section(w, "Figure 10c: Impact of link failures on AS connectivity")
+	runs := 100
+	if cfg.Quick {
+		runs = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pair set: all AS pairs of the deployment.
+	baseTopo, err := sciera.Build()
+	if err != nil {
+		return err
+	}
+	var ases []addr.IA
+	for _, as := range baseTopo.ASes() {
+		ases = append(ases, as.IA)
+	}
+	nLinks := len(baseTopo.Links())
+	// Sample the removal fractions at 10% steps.
+	steps := 10
+	multi := make([]float64, steps+1)
+	single := make([]float64, steps+1)
+
+	for run := 0; run < runs; run++ {
+		topo, err := sciera.Build()
+		if err != nil {
+			return err
+		}
+		// Precompute each pair's single path (link ID set) on the
+		// intact topology.
+		type pairKey [2]addr.IA
+		singlePaths := make(map[pairKey]map[int]bool)
+		for i, a := range ases {
+			for _, b := range ases[i+1:] {
+				r := topo.ShortestRoute(a, b, topology.LatencyWeight)
+				if r == nil {
+					continue
+				}
+				links := make(map[int]bool, len(r.Links))
+				for _, l := range r.Links {
+					links[l.ID] = true
+				}
+				singlePaths[pairKey{a, b}] = links
+			}
+		}
+		perm := rng.Perm(nLinks)
+		removed := make(map[int]bool, nLinks)
+		record := func(step int) {
+			okMulti, okSingle, total := 0, 0, 0
+			for i, a := range ases {
+				for _, b := range ases[i+1:] {
+					total++
+					if topo.Connected(a, b) {
+						okMulti++
+					}
+					sp, had := singlePaths[pairKey{a, b}]
+					if had {
+						alive := true
+						for id := range sp {
+							if removed[id] {
+								alive = false
+								break
+							}
+						}
+						if alive {
+							okSingle++
+						}
+					}
+				}
+			}
+			multi[step] += float64(okMulti) / float64(total)
+			single[step] += float64(okSingle) / float64(total)
+		}
+		record(0)
+		for step := 1; step <= steps; step++ {
+			target := step * nLinks / steps
+			for k := len(removed); k < target; k++ {
+				id := perm[k]
+				_ = topo.SetLinkUp(id, false)
+				removed[id] = true
+			}
+			record(step)
+		}
+	}
+
+	t := stats.Table{Header: []string{"links removed (%)", "multipath connectivity (%)", "single-path connectivity (%)"}}
+	for step := 0; step <= steps; step++ {
+		t.AddRow(fmt.Sprintf("%d", step*10),
+			fmt.Sprintf("%.0f", 100*multi[step]/float64(runs)),
+			fmt.Sprintf("%.0f", 100*single[step]/float64(runs)))
+	}
+	fmt.Fprint(w, t.Render())
+	fmt.Fprintf(w, "\npaper: at 20%% removed links, ~90%% of pairs keep connectivity with\n")
+	fmt.Fprintf(w, "multipath but only ~50%% with a single path\n")
+	return nil
+}
+
+// Table2 reproduces the Appendix A hinting-mechanism availability
+// matrix by evaluating the bootstrap client's requirements against
+// canonical network configurations.
+func Table2(w io.Writer) {
+	section(w, "Table 2 (Appendix A): Hinting mechanisms vs network technologies")
+
+	type netEnv struct {
+		name string
+		// Capabilities of the network.
+		staticIPv4Only bool
+		dhcpLeases     bool
+		dhcpv6Lease    bool
+		ipv6RAs        bool
+		dnsSearch      bool
+	}
+	envs := []netEnv{
+		{name: "Static IPs only", staticIPv4Only: true},
+		{name: "dyn. DHCP leases", dhcpLeases: true},
+		{name: "dyn. DHCPv6 lease", dhcpv6Lease: true},
+		{name: "IPv6 RAs", ipv6RAs: true},
+		{name: "local DNS search domain", dnsSearch: true},
+	}
+
+	// availability returns "Y" (works alone), "M" (works in combination
+	// with another mechanism supplying DNS config), or "N".
+	availability := func(m bootstrap.Mechanism, e netEnv) string {
+		switch m {
+		case bootstrap.MechDHCPVIVO, bootstrap.MechDHCPOption72:
+			if e.dhcpLeases {
+				return "Y"
+			}
+			return "N"
+		case bootstrap.MechDHCPv6VSIO:
+			if e.dhcpv6Lease {
+				return "Y"
+			}
+			return "N"
+		case bootstrap.MechNDP:
+			switch {
+			case e.ipv6RAs:
+				return "Y"
+			case e.staticIPv4Only:
+				return "N"
+			case e.dnsSearch:
+				return "Y" // RA-provided resolver or existing DNS both work
+			default:
+				return "M"
+			}
+		case bootstrap.MechDNSSRV, bootstrap.MechDNSNAPTR, bootstrap.MechDNSSD:
+			switch {
+			case e.dnsSearch || e.ipv6RAs:
+				return "Y"
+			case e.staticIPv4Only:
+				return "N"
+			default:
+				return "M" // needs DHCP/RA to learn the resolver
+			}
+		case bootstrap.MechMDNS:
+			if e.dnsSearch || e.ipv6RAs {
+				return "Y"
+			}
+			if e.staticIPv4Only {
+				return "Y" // multicast needs no configuration at all
+			}
+			return "M"
+		}
+		return "?"
+	}
+
+	hdr := []string{"Mechanism"}
+	for _, e := range envs {
+		hdr = append(hdr, e.name)
+	}
+	t := stats.Table{Header: hdr}
+	for _, m := range bootstrap.AllMechanisms() {
+		row := []string{m.String()}
+		for _, e := range envs {
+			row = append(row, availability(m, e))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(w, t.Render())
+	fmt.Fprintln(w, "\nY = available, M = available combined with another mechanism, N = unavailable")
+}

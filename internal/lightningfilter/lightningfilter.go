@@ -1,0 +1,324 @@
+// Package lightningfilter implements a LightningFilter-style SCION
+// firewall (Sections 4.7.1 and 4.9): per-packet source authentication
+// with DRKey-derived symmetric MACs — so a single AES-CMAC replaces any
+// per-flow state — plus per-source-AS token-bucket rate limiting and a
+// drop/pass verdict pipeline designed for line-rate operation.
+//
+// The production system runs on DPDK at 100 Gbps; this implementation
+// processes the same verdict pipeline in user space, and the benchmark
+// suite measures its packets-per-second against an unauthenticated
+// baseline filter.
+package lightningfilter
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/scrypto"
+	"sciera/internal/slayers"
+)
+
+// Verdict classifies a packet.
+type Verdict int
+
+const (
+	Pass Verdict = iota
+	DropUnauthenticated
+	DropRateLimited
+	DropExpired
+	DropUnparseable
+	DropPolicy
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case DropUnauthenticated:
+		return "drop-unauthenticated"
+	case DropRateLimited:
+		return "drop-rate-limited"
+	case DropExpired:
+		return "drop-expired"
+	case DropUnparseable:
+		return "drop-unparseable"
+	case DropPolicy:
+		return "drop-policy"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Metrics counts verdicts.
+type Metrics struct {
+	Passed          atomic.Uint64
+	Unauthenticated atomic.Uint64
+	RateLimited     atomic.Uint64
+	Expired         atomic.Uint64
+	Unparseable     atomic.Uint64
+	Policy          atomic.Uint64
+}
+
+func (m *Metrics) count(v Verdict) {
+	switch v {
+	case Pass:
+		m.Passed.Add(1)
+	case DropUnauthenticated:
+		m.Unauthenticated.Add(1)
+	case DropRateLimited:
+		m.RateLimited.Add(1)
+	case DropExpired:
+		m.Expired.Add(1)
+	case DropUnparseable:
+		m.Unparseable.Add(1)
+	case DropPolicy:
+		m.Policy.Add(1)
+	}
+}
+
+// Config configures a filter instance.
+type Config struct {
+	// Local is the protected AS; inbound packets must target it.
+	Local addr.IA
+	// Master is the AS's DRKey master secret.
+	Master []byte
+	// EpochLen is the DRKey epoch length (default 3h).
+	EpochLen time.Duration
+	// MaxAge bounds packet timestamp age (replay window; default 2s).
+	MaxAge time.Duration
+	// RatePPS is the per-source-AS packet budget per second
+	// (token bucket, burst = 2x; 0 disables rate limiting).
+	RatePPS float64
+	// AllowedISDs optionally restricts sources to these ISDs
+	// (geofencing); empty allows all.
+	AllowedISDs []addr.ISD
+	// Now supplies the clock.
+	Now func() time.Time
+}
+
+// Filter is a per-AS LightningFilter instance. Safe for concurrent use.
+type Filter struct {
+	cfg     Config
+	metrics Metrics
+
+	mu      sync.Mutex
+	sv      scrypto.SecretValue
+	buckets map[addr.IA]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New creates a filter.
+func New(cfg Config) (*Filter, error) {
+	if cfg.Local.IsZero() {
+		return nil, fmt.Errorf("lightningfilter: Local required")
+	}
+	if len(cfg.Master) == 0 {
+		return nil, fmt.Errorf("lightningfilter: Master secret required")
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = 3 * time.Hour
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Filter{cfg: cfg, buckets: make(map[addr.IA]*bucket)}, nil
+}
+
+// Metrics exposes the verdict counters.
+func (f *Filter) Metrics() *Metrics { return &f.metrics }
+
+// AuthHeader is the per-packet authenticator a LightningFilter-aware
+// sender attaches (carried in the packet payload prefix in this
+// reproduction).
+type AuthHeader struct {
+	TSNanos uint64
+	MAC     [scrypto.HopMACLen]byte
+}
+
+// AuthHeaderLen is the serialized authenticator length.
+const AuthHeaderLen = 8 + scrypto.HopMACLen
+
+// EncodeAuth renders the authenticator followed by the payload.
+func EncodeAuth(h AuthHeader, payload []byte) []byte {
+	out := make([]byte, AuthHeaderLen+len(payload))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(h.TSNanos >> (56 - 8*i))
+	}
+	copy(out[8:], h.MAC[:])
+	copy(out[AuthHeaderLen:], payload)
+	return out
+}
+
+// DecodeAuth splits an authenticated payload.
+func DecodeAuth(b []byte) (AuthHeader, []byte, bool) {
+	if len(b) < AuthHeaderLen {
+		return AuthHeader{}, nil, false
+	}
+	var h AuthHeader
+	for i := 0; i < 8; i++ {
+		h.TSNanos = h.TSNanos<<8 | uint64(b[i])
+	}
+	copy(h.MAC[:], b[8:AuthHeaderLen])
+	return h, b[AuthHeaderLen:], true
+}
+
+// SenderKey derives the key a sender in srcIA uses toward the protected
+// AS: in DRKey fashion, the protected AS can re-derive it on the fly.
+// (The host-level granularity is collapsed to host ID 0 here.)
+func SenderKey(master []byte, at time.Time, epochLen time.Duration, src addr.IA) (scrypto.DRKey, error) {
+	sv, err := scrypto.DeriveSecretValue(master, at, epochLen)
+	if err != nil {
+		return scrypto.DRKey{}, err
+	}
+	lvl1, err := scrypto.DeriveLvl1(sv, src)
+	if err != nil {
+		return scrypto.DRKey{}, err
+	}
+	return scrypto.DeriveHostKey(lvl1, 0)
+}
+
+// Seal authenticates a payload from src toward the filter's AS.
+func Seal(master []byte, at time.Time, epochLen time.Duration, src addr.IA, payload []byte) ([]byte, error) {
+	key, err := SenderKey(master, at, epochLen, src)
+	if err != nil {
+		return nil, err
+	}
+	ts := uint64(at.UnixNano())
+	mac, err := scrypto.PacketMAC(key, src, ts, payload)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeAuth(AuthHeader{TSNanos: ts, MAC: mac}, payload), nil
+}
+
+// Check runs the verdict pipeline on a decoded packet.
+func (f *Filter) Check(pkt *slayers.Packet) Verdict {
+	v := f.check(pkt)
+	f.metrics.count(v)
+	return v
+}
+
+// CheckRaw parses and checks a raw packet.
+func (f *Filter) CheckRaw(raw []byte) Verdict {
+	var pkt slayers.Packet
+	if err := pkt.Decode(raw); err != nil {
+		f.metrics.count(DropUnparseable)
+		return DropUnparseable
+	}
+	return f.Check(&pkt)
+}
+
+func (f *Filter) check(pkt *slayers.Packet) Verdict {
+	if pkt.Hdr.DstIA != f.cfg.Local {
+		return DropPolicy
+	}
+	src := pkt.Hdr.SrcIA
+	if len(f.cfg.AllowedISDs) > 0 {
+		ok := false
+		for _, isd := range f.cfg.AllowedISDs {
+			if src.ISD() == isd {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return DropPolicy
+		}
+	}
+
+	h, _, ok := DecodeAuth(pkt.Payload)
+	if !ok {
+		return DropUnauthenticated
+	}
+	now := f.cfg.Now()
+	ts := time.Unix(0, int64(h.TSNanos))
+	if now.Sub(ts) > f.cfg.MaxAge || ts.Sub(now) > f.cfg.MaxAge {
+		return DropExpired
+	}
+
+	// Re-derive the sender key with two CMACs and verify — the DRKey
+	// property enabling stateless line-rate authentication.
+	key, err := f.senderKey(src, now)
+	if err != nil {
+		return DropUnauthenticated
+	}
+	want, err := scrypto.PacketMAC(key, src, h.TSNanos, pkt.Payload[AuthHeaderLen:])
+	if err != nil || want != h.MAC {
+		return DropUnauthenticated
+	}
+
+	if f.cfg.RatePPS > 0 && !f.takeToken(src, now) {
+		return DropRateLimited
+	}
+	return Pass
+}
+
+// senderKey caches the epoch secret value and derives per-source keys.
+func (f *Filter) senderKey(src addr.IA, now time.Time) (scrypto.DRKey, error) {
+	f.mu.Lock()
+	if !f.sv.Epoch.Contains(now) {
+		sv, err := scrypto.DeriveSecretValue(f.cfg.Master, now, f.cfg.EpochLen)
+		if err != nil {
+			f.mu.Unlock()
+			return scrypto.DRKey{}, err
+		}
+		f.sv = sv
+	}
+	sv := f.sv
+	f.mu.Unlock()
+	lvl1, err := scrypto.DeriveLvl1(sv, src)
+	if err != nil {
+		return scrypto.DRKey{}, err
+	}
+	return scrypto.DeriveHostKey(lvl1, 0)
+}
+
+func (f *Filter) takeToken(src addr.IA, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.buckets[src]
+	if !ok {
+		b = &bucket{tokens: 2 * f.cfg.RatePPS, last: now}
+		f.buckets[src] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * f.cfg.RatePPS
+	if cap := 2 * f.cfg.RatePPS; b.tokens > cap {
+		b.tokens = cap
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// NaiveFilter is the unauthenticated baseline: a legacy firewall that
+// can only match on addresses (the "legacy firewalls cannot inspect
+// SCION traffic" concern of Section 4.9). Used as the benchmark
+// comparator.
+type NaiveFilter struct {
+	Local   addr.IA
+	Allowed map[addr.IA]bool
+}
+
+// Check passes packets from allowed sources.
+func (n *NaiveFilter) Check(pkt *slayers.Packet) Verdict {
+	if pkt.Hdr.DstIA != n.Local {
+		return DropPolicy
+	}
+	if n.Allowed != nil && !n.Allowed[pkt.Hdr.SrcIA] {
+		return DropPolicy
+	}
+	return Pass
+}

@@ -1,0 +1,419 @@
+// Package multiping reimplements the scion-go-multiping measurement
+// tool of Section 5.4: from every vantage AS it pings the other
+// participant ASes every interval, over three SCION paths in parallel —
+// the shortest, the fastest, and the most disjoint — plus the IP
+// Internet baseline, and aggregates statistics per interval.
+//
+// Full path probes run when the control plane changed or when at least
+// two pings failed in the previous interval, matching the tool's
+// behaviour. The campaign executes in virtual time on the discrete-event
+// transport: SCMP probes traverse the full serialized data plane; the
+// IP baseline is the BGP-routed RTT on the commercial-Internet topology
+// (an analytic traversal — DESIGN.md documents the substitution).
+package multiping
+
+import (
+	"fmt"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/core"
+	"sciera/internal/pan"
+	"sciera/internal/scmp"
+	"sciera/internal/simnet"
+	"sciera/internal/topology"
+)
+
+// PathType labels the three probe paths.
+type PathType int
+
+const (
+	Shortest PathType = iota
+	Fastest
+	MostDisjoint
+	numPathTypes
+)
+
+func (t PathType) String() string {
+	switch t {
+	case Shortest:
+		return "shortest"
+	case Fastest:
+		return "fastest"
+	case MostDisjoint:
+		return "disjoint"
+	default:
+		return "?"
+	}
+}
+
+// Record is one aggregated measurement interval for one AS pair.
+type Record struct {
+	// T is the offset from campaign start.
+	T   time.Duration `json:"t"`
+	Src addr.IA       `json:"src"`
+	Dst addr.IA       `json:"dst"`
+
+	// SCION side: minimum RTT across the three paths, the winning
+	// path's type, and how many of the three probes succeeded.
+	SCIONRTTms float64  `json:"scion_rtt_ms"`
+	SCIONOK    int      `json:"scion_ok"`
+	BestPath   PathType `json:"best_path"`
+	// RTTms holds each probe path's RTT (-1: failed/absent), indexed
+	// by PathType; the Figure 10a latency-inflation metric needs the
+	// two lowest per interval.
+	RTTms [3]float64 `json:"rtt_ms"`
+
+	// ActivePaths is the path count from the most recent full probe.
+	ActivePaths int `json:"active_paths"`
+
+	// IP side: the BGP baseline RTT; IPMissing marks intervals the
+	// paper excludes (the tool's hourly stall).
+	IPRTTms   float64 `json:"ip_rtt_ms"`
+	IPMissing bool    `json:"ip_missing"`
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Vantage ASes run the tool; Targets are pinged (default: vantage
+	// set itself).
+	Vantage []addr.IA
+	Targets []addr.IA
+	// Interval between measurement rounds (the tool pings at 1 Hz and
+	// aggregates per minute; one round per interval samples the same
+	// distribution).
+	Interval time.Duration
+	// Duration of the campaign.
+	Duration time.Duration
+	// Incidents to replay (link outages/flaps) and links activated
+	// mid-campaign.
+	Incidents []IncidentEvent
+	// IPRTT returns the baseline RTT in ms for a pair (required).
+	IPRTT func(src, dst addr.IA) float64
+	// StallModel reproduces the tool's hourly ICMP stalls: sources
+	// stall for 15-30 minutes after the start of some hours; those
+	// intervals are marked IPMissing and excluded like in the paper.
+	// Stall windows are a stable pseudo-random function of
+	// (source, hour) so the excluded intervals are reproducible.
+	StallModel bool
+	// Seed is carried for provenance (stored with the dataset
+	// metadata); the measurements themselves are topology-determined —
+	// see the campaign-determinism test in internal/experiments.
+	Seed int64
+	// PingTimeout bounds each probe (default 3s).
+	PingTimeout time.Duration
+}
+
+// IncidentEvent is a scheduled link state change.
+type IncidentEvent struct {
+	At     time.Duration
+	LinkID int
+	Up     bool
+	Name   string
+}
+
+// BuildEvents flattens outage/flap windows into link state changes.
+func BuildEvents(topo *topology.Topology, resolve func(name string) (int, bool),
+	incidents []struct {
+		Name         string
+		Links        []string
+		Start        time.Duration
+		Duration     time.Duration
+		FlapPeriod   time.Duration
+		FlapDowntime time.Duration
+	}) ([]IncidentEvent, error) {
+	var out []IncidentEvent
+	for _, inc := range incidents {
+		for _, name := range inc.Links {
+			id, ok := resolve(name)
+			if !ok {
+				return nil, fmt.Errorf("multiping: unknown link %q in incident %q", name, inc.Name)
+			}
+			if inc.FlapPeriod <= 0 {
+				out = append(out,
+					IncidentEvent{At: inc.Start, LinkID: id, Up: false, Name: inc.Name},
+					IncidentEvent{At: inc.Start + inc.Duration, LinkID: id, Up: true, Name: inc.Name},
+				)
+				continue
+			}
+			down := inc.FlapDowntime
+			if down <= 0 || down >= inc.FlapPeriod {
+				down = inc.FlapPeriod / 2
+			}
+			for t := inc.Start; t < inc.Start+inc.Duration; t += inc.FlapPeriod {
+				out = append(out, IncidentEvent{At: t, LinkID: id, Up: false, Name: inc.Name})
+				end := t + down
+				if end > inc.Start+inc.Duration {
+					end = inc.Start + inc.Duration
+				}
+				out = append(out, IncidentEvent{At: end, LinkID: id, Up: true, Name: inc.Name})
+			}
+			out = append(out, IncidentEvent{At: inc.Start + inc.Duration, LinkID: id, Up: true, Name: inc.Name})
+		}
+	}
+	return out, nil
+}
+
+// Dataset is a completed campaign.
+type Dataset struct {
+	Records []Record
+	// PathCounts holds every full-probe path count observation.
+	PathCounts []PathCountSample
+	// Probes counts SCMP echoes sent.
+	Probes uint64
+}
+
+// PathCountSample is one full-probe observation: the active path count
+// and the two lowest path RTT estimates (for the Figure 10a latency
+// inflation metric d2/d1).
+type PathCountSample struct {
+	T     time.Duration `json:"t"`
+	Src   addr.IA       `json:"src"`
+	Dst   addr.IA       `json:"dst"`
+	Count int           `json:"count"`
+	// BestMS and SecondMS are the two lowest RTTs over the active
+	// paths at probe time (-1 when fewer than 1/2 paths exist).
+	BestMS   float64 `json:"best_ms"`
+	SecondMS float64 `json:"second_ms"`
+}
+
+// pairState tracks per-pair probing state.
+type pairState struct {
+	paths     []*combinator.Path // current full-probe result
+	probe     [numPathTypes]*combinator.Path
+	rtts      *pan.RTTRecorder
+	failsLast int
+	dirty     bool
+}
+
+// Campaign executes a multiping measurement run.
+type Campaign struct {
+	Net *core.Network
+	Cfg Config
+
+	sim        *simnet.Sim
+	pingers    map[addr.IA]*scmp.Pinger
+	responders map[addr.IA]*scmp.Responder
+	pairs      map[[2]addr.IA]*pairState
+	data       *Dataset
+}
+
+// NewCampaign prepares pingers and responders in every relevant AS.
+func NewCampaign(n *core.Network, cfg Config) (*Campaign, error) {
+	sim, ok := n.Transport.(*simnet.Sim)
+	if !ok {
+		return nil, fmt.Errorf("multiping: campaigns require the discrete-event transport")
+	}
+	if cfg.IPRTT == nil {
+		return nil, fmt.Errorf("multiping: Config.IPRTT required")
+	}
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = cfg.Vantage
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = 3 * time.Second
+	}
+	c := &Campaign{
+		Net:        n,
+		Cfg:        cfg,
+		sim:        sim,
+		pingers:    make(map[addr.IA]*scmp.Pinger),
+		responders: make(map[addr.IA]*scmp.Responder),
+		pairs:      make(map[[2]addr.IA]*pairState),
+		data:       &Dataset{},
+	}
+	for _, ia := range cfg.Vantage {
+		p, err := n.NewPinger(ia)
+		if err != nil {
+			return nil, err
+		}
+		c.pingers[ia] = p
+	}
+	for _, ia := range cfg.Targets {
+		if _, ok := c.responders[ia]; ok {
+			continue
+		}
+		r, err := n.AttachResponder(ia)
+		if err != nil {
+			return nil, err
+		}
+		c.responders[ia] = r
+	}
+	for _, src := range cfg.Vantage {
+		for _, dst := range cfg.Targets {
+			if src == dst {
+				continue
+			}
+			c.pairs[[2]addr.IA{src, dst}] = &pairState{rtts: pan.NewRTTRecorder(), dirty: true}
+		}
+	}
+	return c, nil
+}
+
+// Run executes the campaign and returns the dataset.
+func (c *Campaign) Run() (*Dataset, error) {
+	events := append([]IncidentEvent(nil), c.Cfg.Incidents...)
+	// Event list sorted by time.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	evIdx := 0
+
+	start := c.sim.Now()
+	for t := time.Duration(0); t < c.Cfg.Duration; t += c.Cfg.Interval {
+		// Apply due incidents, then refresh the control plane once.
+		changed := false
+		for evIdx < len(events) && events[evIdx].At <= t {
+			ev := events[evIdx]
+			evIdx++
+			if c.Net.Topo.LinkUp(ev.LinkID) != ev.Up {
+				if err := c.Net.Topo.SetLinkUp(ev.LinkID, ev.Up); err != nil {
+					return nil, err
+				}
+				changed = true
+			}
+		}
+		if changed {
+			if err := c.Net.RefreshControlPlane(); err != nil {
+				return nil, err
+			}
+			for _, st := range c.pairs {
+				st.dirty = true
+			}
+		}
+		c.round(t)
+		c.sim.RunUntil(start.Add(t + c.Cfg.Interval))
+	}
+	return c.data, nil
+}
+
+// round performs one measurement interval.
+func (c *Campaign) round(t time.Duration) {
+	for _, src := range c.Cfg.Vantage {
+		stalled := c.stalledNow(src, t)
+		for _, dst := range c.Cfg.Targets {
+			if src == dst {
+				continue
+			}
+			key := [2]addr.IA{src, dst}
+			st := c.pairs[key]
+			// Full path probe when dirty or after failures (the
+			// tool's trigger: two or more failed pings).
+			if st.dirty || st.failsLast >= 2 {
+				c.fullProbe(t, src, dst, st)
+			}
+			rec := Record{
+				T: t, Src: src, Dst: dst,
+				SCIONRTTms:  -1,
+				RTTms:       [3]float64{-1, -1, -1},
+				ActivePaths: len(st.paths),
+				IPRTTms:     c.Cfg.IPRTT(src, dst),
+				IPMissing:   stalled,
+			}
+			fails := 0
+			for pt := Shortest; pt < numPathTypes; pt++ {
+				path := st.probe[pt]
+				if path == nil {
+					fails++
+					continue
+				}
+				ptCopy := pt
+				fp := path.Fingerprint
+				c.data.Probes++
+				c.pingers[src].Ping(dst, c.responders[dst].Addr().Addr(), path, c.Cfg.PingTimeout,
+					func(rtt time.Duration, err error) {
+						if err != nil {
+							st.failsLast++
+							return
+						}
+						ms := float64(rtt) / float64(time.Millisecond)
+						st.rtts.Observe(fp, rtt)
+						rec.RTTms[ptCopy] = ms
+						if rec.SCIONRTTms < 0 || ms < rec.SCIONRTTms {
+							rec.SCIONRTTms = ms
+							rec.BestPath = ptCopy
+						}
+						rec.SCIONOK++
+					})
+			}
+			st.failsLast = fails
+			// Finalize the record once all probes resolved (after the
+			// interval's events drain); schedule just before interval
+			// end.
+			recPtr := &rec
+			stRef := st
+			c.sim.AfterFunc(c.Cfg.Interval-time.Millisecond, func() {
+				_ = stRef
+				c.data.Records = append(c.data.Records, *recPtr)
+			})
+		}
+	}
+}
+
+// fullProbe recomputes the pair's paths and probe selection.
+func (c *Campaign) fullProbe(t time.Duration, src, dst addr.IA, st *pairState) {
+	st.paths = c.Net.Paths(src, dst)
+	st.dirty = false
+	st.failsLast = 0
+	sample := PathCountSample{
+		T: t, Src: src, Dst: dst, Count: len(st.paths), BestMS: -1, SecondMS: -1,
+	}
+	for _, p := range st.paths {
+		rtt := 2 * p.LatencyMS
+		switch {
+		case sample.BestMS < 0 || rtt < sample.BestMS:
+			sample.SecondMS = sample.BestMS
+			sample.BestMS = rtt
+		case sample.SecondMS < 0 || rtt < sample.SecondMS:
+			sample.SecondMS = rtt
+		}
+	}
+	c.data.PathCounts = append(c.data.PathCounts, sample)
+	for pt := Shortest; pt < numPathTypes; pt++ {
+		st.probe[pt] = nil
+	}
+	if len(st.paths) == 0 {
+		return
+	}
+	shortest := pan.Shortest{}.Order(st.paths)[0]
+	fastest := pan.Fastest{RTTs: st.rtts}.Order(st.paths)[0]
+	disjoint := pan.MostDisjoint{References: []*combinator.Path{shortest, fastest}}.Order(st.paths)[0]
+	st.probe[Shortest] = shortest
+	st.probe[Fastest] = fastest
+	st.probe[MostDisjoint] = disjoint
+}
+
+// stalledNow models the tool's hourly stall: for a deterministic subset
+// of (source, hour) combinations, ICMP measurements go missing from
+// minute 15 to minute 30+.
+func (c *Campaign) stalledNow(src addr.IA, t time.Duration) bool {
+	if !c.Cfg.StallModel {
+		return false
+	}
+	hour := int(t / time.Hour)
+	intoHour := t % time.Hour
+	// A stable pseudo-random choice per (src, hour): ~40% of source
+	// hours exhibit the stall, as the dataset gaps suggest.
+	h := uint64(src)*1099511628211 ^ uint64(hour)*14695981039346656037
+	h ^= h >> 33
+	if h%10 >= 4 {
+		return false
+	}
+	return intoHour >= 15*time.Minute && intoHour < 30*time.Minute
+}
+
+// Close releases pingers and responders.
+func (c *Campaign) Close() {
+	for _, p := range c.pingers {
+		_ = p.Close()
+	}
+	for _, r := range c.responders {
+		_ = r.Close()
+	}
+}

@@ -1,0 +1,56 @@
+package pan
+
+import (
+	"sort"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+)
+
+// CarbonIndex maps ASes to the carbon intensity of their infrastructure
+// (grams CO₂-equivalent per forwarded gigabyte, or any consistent
+// relative unit). Section 4.7 describes green path selection — "SCION
+// allows users to choose 'green' paths based on energy or carbon
+// metrics, incentivizing ISPs to reduce emissions" — as one of the
+// compelling end-user scenarios; this policy implements it.
+type CarbonIndex map[addr.IA]float64
+
+// DefaultCarbon is assumed for ASes missing from the index, so
+// unreported ASes never look greener than reported ones.
+const DefaultCarbon = 100.0
+
+// PathCarbon sums the carbon intensity over the ASes a path traverses.
+func (ci CarbonIndex) PathCarbon(p *combinator.Path) float64 {
+	var sum float64
+	for _, ia := range p.ASes() {
+		if v, ok := ci[ia]; ok {
+			sum += v
+		} else {
+			sum += DefaultCarbon
+		}
+	}
+	return sum
+}
+
+// Greenest orders paths by ascending carbon footprint, breaking ties by
+// latency so among equally green paths the fastest wins.
+type Greenest struct {
+	Index CarbonIndex
+}
+
+func (Greenest) Name() string { return "greenest" }
+
+func (g Greenest) Order(paths []*combinator.Path) []*combinator.Path {
+	out := append([]*combinator.Path(nil), paths...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := g.Index.PathCarbon(out[i]), g.Index.PathCarbon(out[j])
+		if ci != cj {
+			return ci < cj
+		}
+		if out[i].LatencyMS != out[j].LatencyMS {
+			return out[i].LatencyMS < out[j].LatencyMS
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

@@ -1,0 +1,49 @@
+package pan
+
+import (
+	"testing"
+
+	"sciera/internal/combinator"
+)
+
+func TestGreenestPolicy(t *testing.T) {
+	// Two same-shape paths over different transit ASes.
+	dirty := fakePath(2, 10, 1)  // fast but through coal-powered transit
+	green := fakePath(2, 50, 50) // slower but through hydro-powered transit
+	index := CarbonIndex{}
+	for _, ia := range dirty.ASes() {
+		index[ia] = 400 // coal
+	}
+	for _, ia := range green.ASes() {
+		index[ia] = 20 // hydro
+	}
+	g := Greenest{Index: index}
+	got := g.Order([]*combinator.Path{dirty, green})
+	if got[0] != green {
+		t.Error("greenest policy chose the dirty path")
+	}
+	if g.Name() != "greenest" {
+		t.Error("name")
+	}
+
+	// Unreported ASes default to DefaultCarbon: a path through unknown
+	// ASes loses to a reported clean one.
+	unknown := fakePath(2, 5, 90)
+	got = g.Order([]*combinator.Path{unknown, green})
+	if got[0] != green {
+		t.Error("unreported ASes treated as green")
+	}
+
+	// Equal carbon: latency breaks the tie.
+	a := fakePath(2, 30, 120)
+	b := fakePath(2, 20, 150)
+	got = Greenest{Index: CarbonIndex{}}.Order([]*combinator.Path{a, b})
+	if got[0] != b {
+		t.Error("latency tie-break failed")
+	}
+
+	// PathCarbon arithmetic.
+	if c := index.PathCarbon(green); c != 20*float64(len(green.ASes())) {
+		t.Errorf("PathCarbon = %v", c)
+	}
+}

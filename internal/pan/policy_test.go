@@ -1,0 +1,177 @@
+package pan
+
+import (
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/spath"
+)
+
+// fakePath builds a path with the given fingerprint inputs and latency.
+func fakePath(hops int, latency float64, ifStart uint16) *combinator.Path {
+	p := &combinator.Path{
+		Src:       addr.MustParseIA("71-1"),
+		Dst:       addr.MustParseIA("71-2"),
+		LatencyMS: latency,
+		Raw:       spath.Path{},
+	}
+	for i := 0; i < hops; i++ {
+		base := addr.AS(100 + int(ifStart)*10 + i)
+		p.Interfaces = append(p.Interfaces,
+			combinator.PathInterface{IA: addr.MustIA(71, base), IfID: ifStart + uint16(i)},
+			combinator.PathInterface{IA: addr.MustIA(71, base+1), IfID: ifStart + uint16(i) + 100},
+		)
+	}
+	p.Fingerprint = ""
+	for _, itf := range p.Interfaces {
+		p.Fingerprint += itf.String() + ">"
+	}
+	return p
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range append([]string{""}, AvailablePreferencePolicies...) {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestShortestOrdering(t *testing.T) {
+	a := fakePath(2, 50, 1)
+	b := fakePath(3, 10, 10)
+	got := Shortest{}.Order([]*combinator.Path{b, a})
+	if got[0] != a {
+		t.Error("shortest policy did not prefer fewer hops")
+	}
+	if (Shortest{}).Name() != "shortest" {
+		t.Error("name")
+	}
+}
+
+func TestFastestUsesMeasurements(t *testing.T) {
+	slowMeta := fakePath(2, 100, 1) // metadata says slow
+	fastMeta := fakePath(2, 10, 10) // metadata says fast
+	// Without measurements, metadata decides.
+	got := Fastest{}.Order([]*combinator.Path{slowMeta, fastMeta})
+	if got[0] != fastMeta {
+		t.Error("fastest (metadata) wrong")
+	}
+	// Measurements override: the "slow" path actually measures faster.
+	rtts := NewRTTRecorder()
+	rtts.Observe(slowMeta.Fingerprint, 20*time.Millisecond)
+	rtts.Observe(fastMeta.Fingerprint, 200*time.Millisecond)
+	got = Fastest{RTTs: rtts}.Order([]*combinator.Path{slowMeta, fastMeta})
+	if got[0] != slowMeta {
+		t.Error("fastest policy ignored measured RTTs")
+	}
+}
+
+func TestRTTRecorderEWMA(t *testing.T) {
+	r := NewRTTRecorder()
+	if _, ok := r.Get("x"); ok {
+		t.Error("empty recorder returned a value")
+	}
+	r.Observe("x", 100*time.Millisecond)
+	if got, _ := r.Get("x"); got != 100*time.Millisecond {
+		t.Errorf("first observation = %v", got)
+	}
+	r.Observe("x", 200*time.Millisecond)
+	// EWMA alpha 1/4: 100*3/4 + 200/4 = 125ms.
+	if got, _ := r.Get("x"); got != 125*time.Millisecond {
+		t.Errorf("ewma = %v, want 125ms", got)
+	}
+}
+
+func TestMostDisjointOrdering(t *testing.T) {
+	ref := fakePath(3, 10, 1)
+	overlap := fakePath(3, 10, 1) // same interfaces as ref
+	distinct := fakePath(3, 50, 50)
+	got := MostDisjoint{References: []*combinator.Path{ref}}.Order(
+		[]*combinator.Path{overlap, distinct})
+	if got[0] != distinct {
+		t.Error("most-disjoint did not prefer the distinct path")
+	}
+	// Without references, the first candidate becomes the reference.
+	got = MostDisjoint{}.Order([]*combinator.Path{overlap, distinct})
+	if got[0] != distinct {
+		t.Error("implicit reference ordering wrong")
+	}
+	if (MostDisjoint{}).Name() != "disjoint" {
+		t.Error("name")
+	}
+}
+
+func TestSequenceFiltering(t *testing.T) {
+	p := fakePath(2, 10, 1)
+	ases := p.ASes()
+	// Build the exact predicate string.
+	exact := ""
+	for i, ia := range ases {
+		if i > 0 {
+			exact += " "
+		}
+		exact += ia.String()
+	}
+	if got := ParseSequence(exact).Order([]*combinator.Path{p}); len(got) != 1 {
+		t.Error("exact sequence rejected")
+	}
+	// Wildcards.
+	wild := ""
+	for i := range ases {
+		if i > 0 {
+			wild += " "
+		}
+		wild += "0-0"
+	}
+	if got := ParseSequence(wild).Order([]*combinator.Path{p}); len(got) != 1 {
+		t.Error("wildcard sequence rejected")
+	}
+	// Wrong length.
+	if got := ParseSequence("0-0").Order([]*combinator.Path{p}); len(got) != 0 {
+		t.Error("length-mismatched sequence accepted")
+	}
+	// Wrong AS.
+	if got := ParseSequence("71-999 " + wild[4:]).Order([]*combinator.Path{p}); len(got) != 0 {
+		t.Error("mismatched predicate accepted")
+	}
+}
+
+func TestInteractiveEdgeCases(t *testing.T) {
+	p1, p2 := fakePath(2, 1, 1), fakePath(2, 2, 10)
+	paths := []*combinator.Path{p1, p2}
+	// Nil chooser: pass-through.
+	if got := (Interactive{}).Order(paths); got[0] != p1 {
+		t.Error("nil chooser changed order")
+	}
+	// Out-of-range choice: pass-through.
+	oor := Interactive{Choose: func([]*combinator.Path) int { return 99 }}
+	if got := oor.Order(paths); got[0] != p1 {
+		t.Error("out-of-range choice changed order")
+	}
+	// Valid choice moves to front, keeps the rest.
+	pick := Interactive{Choose: func([]*combinator.Path) int { return 1 }}
+	got := pick.Order(paths)
+	if got[0] != p2 || got[1] != p1 || len(got) != 2 {
+		t.Error("interactive selection wrong")
+	}
+	// Empty input.
+	if got := pick.Order(nil); got != nil {
+		t.Error("empty input mishandled")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeDaemon.String() != "daemon" || ModeBootstrapper.String() != "bootstrapper" ||
+		ModeStandalone.String() != "standalone" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}

@@ -1,0 +1,98 @@
+// Package pathdb implements the path-segment database backing SCION path
+// servers: segments are registered under their (first, last) AS pair and
+// looked up with optional wildcards, exactly the <ISD-AS>-keyed
+// registration/lookup service the paper describes in Section 2.
+package pathdb
+
+import (
+	"sync"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/segment"
+)
+
+// DB is a concurrency-safe segment store.
+type DB struct {
+	mu   sync.RWMutex
+	segs map[string]*segment.Segment // by segment ID
+}
+
+// New creates an empty DB.
+func New() *DB {
+	return &DB{segs: make(map[string]*segment.Segment)}
+}
+
+// Insert registers a segment; duplicates (same ID) are ignored.
+// It returns true when the segment was new.
+func (db *DB) Insert(seg *segment.Segment) bool {
+	if seg == nil || seg.Len() == 0 {
+		return false
+	}
+	id := seg.ID()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.segs[id]; ok {
+		return false
+	}
+	db.segs[id] = seg
+	return true
+}
+
+// Get returns segments whose construction-direction endpoints match
+// (first, last); addr wildcards (zero IA, or wildcard AS within an ISD)
+// match anything.
+func (db *DB) Get(first, last addr.IA) []*segment.Segment {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*segment.Segment
+	for _, s := range db.segs {
+		if matches(s.FirstIA(), first) && matches(s.LastIA(), last) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func matches(have, want addr.IA) bool {
+	if want.IsZero() {
+		return true
+	}
+	return have.Matches(want)
+}
+
+// All returns every stored segment.
+func (db *DB) All() []*segment.Segment {
+	return db.Get(0, 0)
+}
+
+// Len returns the number of stored segments.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.segs)
+}
+
+// DeleteExpired drops segments whose hop fields have expired at time t
+// and returns how many were removed. Path servers run this periodically;
+// the short segment lifetime is what forces continuous beaconing.
+func (db *DB) DeleteExpired(t time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for id, s := range db.segs {
+		if s.Expiry().Before(t) {
+			delete(db.segs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Clear removes everything (used when recomputing control-plane state
+// after topology changes).
+func (db *DB) Clear() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.segs = make(map[string]*segment.Segment)
+}

@@ -1,0 +1,324 @@
+package router
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sciera/internal/scrypto"
+	"sciera/internal/simnet"
+	"sciera/internal/slayers"
+	"sciera/internal/spath"
+)
+
+// peerMAC computes the beacon-authorized peer-crossing MAC for an AS.
+func peerMAC(t *testing.T, k scrypto.HopKey, beta uint16, in, eg uint16) [6]byte {
+	t.Helper()
+	mac, err := scrypto.ComputeHopMAC(k, scrypto.HopMACInput{
+		Beta: beta, Timestamp: 100, ExpTime: 63, ConsIngress: in, ConsEgress: eg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mac
+}
+
+// peerPath builds the minimal two-segment peer path A -> B: both
+// segments are single (boundary) hops whose MACs were authorized at
+// beaconing time over the respective AS's accumulator.
+func peerPath(t *testing.T) spath.Path {
+	t.Helper()
+	const betaA, betaB = uint16(0x1111), uint16(0x2222)
+	p := spath.Path{
+		SegLens: [3]uint8{1, 1, 0},
+		Infos: []spath.InfoField{
+			{ConsDir: false, Peer: true, SegID: betaA, Timestamp: 100},
+			{ConsDir: true, Peer: true, SegID: betaB, Timestamp: 100},
+		},
+		Hops: []spath.HopField{
+			{ExpTime: 63, ConsIngress: 1, ConsEgress: 0, MAC: peerMAC(t, key(asA), betaA, 1, 0)},
+			{ExpTime: 63, ConsIngress: 1, ConsEgress: 0, MAC: peerMAC(t, key(asB), betaB, 1, 0)},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPeerCrossForwarding sends a packet over a peering link between
+// two directly wired routers: AS A's boundary hop must verify under the
+// peer rule and forward across the link instead of crossing over.
+func TestPeerCrossForwarding(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, false)
+	defer ra.Close()
+	defer rb.Close()
+
+	dst := listen(t, sim, netip.AddrPort{})
+	src := listen(t, sim, netip.AddrPort{})
+
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: dst.conn.LocalAddr().Addr(),
+			SrcHost: src.conn.LocalAddr().Addr(),
+			Path:    peerPath(t),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.conn.LocalAddr().Port(), DstPort: dst.conn.LocalAddr().Port()},
+		Payload: []byte("across the peering circuit"),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.conn.Send(raw, ra.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets (A MAC failures=%d, B MAC failures=%d)",
+			len(dst.pkts), ra.Metrics().MACFailures.Load(), rb.Metrics().MACFailures.Load())
+	}
+	if string(dst.pkts[0].Payload) != "across the peering circuit" {
+		t.Errorf("payload = %q", dst.pkts[0].Payload)
+	}
+	if ra.Metrics().Forwarded.Load() != 1 {
+		t.Errorf("A forwarded = %d", ra.Metrics().Forwarded.Load())
+	}
+	if rb.Metrics().Delivered.Load() != 1 {
+		t.Errorf("B delivered = %d", rb.Metrics().Delivered.Load())
+	}
+}
+
+// TestPeerCrossTamperedMAC flips a bit in the boundary hop's MAC: the
+// first router must drop the packet and answer with an SCMP parameter
+// problem.
+func TestPeerCrossTamperedMAC(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, false)
+	defer ra.Close()
+	defer rb.Close()
+
+	src := listen(t, sim, netip.AddrPort{})
+	path := peerPath(t)
+	path.Hops[0].MAC[2] ^= 0x10
+
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: netip.AddrFrom4([4]byte{10, 0, 0, 9}),
+			SrcHost: src.conn.LocalAddr().Addr(),
+			Path:    path,
+		},
+		UDP:     &slayers.UDP{SrcPort: src.conn.LocalAddr().Port(), DstPort: 4242},
+		Payload: []byte("forged"),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.conn.Send(raw, ra.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	// Two failures: the forged packet, and the router's own SCMP
+	// parameter problem — its return path contains the corrupted hop,
+	// through which the accumulator cannot be recovered, so the reply
+	// is cryptographically undeliverable and dropped too.
+	if got := ra.Metrics().MACFailures.Load(); got != 2 {
+		t.Fatalf("MAC failures = %d, want 2", got)
+	}
+	if ra.Metrics().SCMPSent.Load() != 1 {
+		t.Errorf("SCMP sent = %d, want 1", ra.Metrics().SCMPSent.Load())
+	}
+	if rb.Metrics().Delivered.Load() != 0 {
+		t.Error("forged packet delivered")
+	}
+	if len(src.pkts) != 0 {
+		t.Errorf("source received %d packets over a corrupted path", len(src.pkts))
+	}
+}
+
+// TestDispatcherModeLocalPort: with the shared dispatcher enabled, all
+// local deliveries land on the dispatcher port regardless of L4.
+func TestDispatcherModeLocalPort(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, true)
+	defer ra.Close()
+	defer rb.Close()
+
+	hostAddr := sim.AllocAddr()
+	disp := listen(t, sim, netip.AddrPortFrom(hostAddr, DispatcherPort))
+	src := listen(t, sim, netip.AddrPort{})
+
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: hostAddr,
+			SrcHost: src.conn.LocalAddr().Addr(),
+			Path:    corePath(t),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.conn.LocalAddr().Port(), DstPort: 7777},
+		Payload: []byte("via dispatcher"),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.conn.Send(raw, ra.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(disp.pkts) != 1 {
+		t.Fatalf("dispatcher received %d packets", len(disp.pkts))
+	}
+	if disp.pkts[0].UDP.DstPort != 7777 {
+		t.Errorf("inner dst port = %d", disp.pkts[0].UDP.DstPort)
+	}
+}
+
+// TestEchoReplyDeliveredToIdentifier: replies route to the prober's
+// underlay port carried in the SCMP identifier.
+func TestEchoReplyDeliveredToIdentifier(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, false)
+	defer ra.Close()
+	defer rb.Close()
+
+	prober := listen(t, sim, netip.AddrPort{})
+	// An echo reply arriving at B's router for a local host, with an
+	// empty path (AS-local): must go to the identifier port.
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asB,
+			DstHost: prober.conn.LocalAddr().Addr(),
+			SrcHost: prober.conn.LocalAddr().Addr(),
+		},
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPEchoReply, Identifier: prober.conn.LocalAddr().Port(), SeqNo: 3},
+		Payload: []byte("pong"),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prober.conn.Send(raw, rb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(prober.pkts) != 1 || prober.pkts[0].SCMP == nil || prober.pkts[0].SCMP.SeqNo != 3 {
+		t.Fatalf("reply not delivered to identifier port: %+v", prober.pkts)
+	}
+}
+
+// TestSCMPErrorRoutedByQuote: an SCMP error's local delivery port comes
+// from the quoted packet — the inner UDP source, or the inner SCMP
+// identifier for quoted probes; undecodable quotes are dropped without
+// a counter-error (amplification guard).
+func TestSCMPErrorRoutedByQuote(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, false)
+	defer ra.Close()
+	defer rb.Close()
+	app := listen(t, sim, netip.AddrPort{})
+
+	// Quote an echo request whose identifier is the app's port.
+	quoted := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asA, SrcIA: asB,
+			DstHost: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+			SrcHost: app.conn.LocalAddr().Addr(),
+		},
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPEchoRequest, Identifier: app.conn.LocalAddr().Port(), SeqNo: 9},
+		Payload: []byte("probe"),
+	}
+	quoteRaw, err := quoted.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: app.conn.LocalAddr().Addr(),
+			SrcHost: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		},
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPExternalInterfaceDown, IA: asA, IfID: 1},
+		Payload: quoteRaw,
+	}
+	raw, err := errPkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.conn.Send(raw, rb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(app.pkts) != 1 || app.pkts[0].SCMP == nil ||
+		app.pkts[0].SCMP.Type != slayers.SCMPExternalInterfaceDown {
+		t.Fatalf("error not routed by quoted identifier: %+v", app.pkts)
+	}
+
+	// Undecodable quote: dropped, NoRoute counted, no counter-error.
+	before := rb.Metrics().NoRouteDrops.Load()
+	bad := &slayers.Packet{
+		Hdr:     errPkt.Hdr,
+		SCMP:    &slayers.SCMP{Type: slayers.SCMPExternalInterfaceDown, IA: asA, IfID: 1},
+		Payload: []byte{0xde, 0xad},
+	}
+	rawBad, err := bad.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.conn.Send(rawBad, rb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if rb.Metrics().NoRouteDrops.Load() != before+1 {
+		t.Errorf("NoRouteDrops = %d, want %d", rb.Metrics().NoRouteDrops.Load(), before+1)
+	}
+	if len(app.pkts) != 1 {
+		t.Errorf("unexpected extra delivery: %d", len(app.pkts))
+	}
+	if rb.Metrics().SCMPSent.Load() != 0 {
+		t.Error("router answered an SCMP error with another error")
+	}
+}
+
+// TestInternalOriginSpoofedIngress: a packet from inside the AS whose
+// first hop claims a nonzero data ingress is spoofed and must drop.
+func TestInternalOriginSpoofedIngress(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, rb := twoAS(t, sim, false)
+	defer ra.Close()
+	defer rb.Close()
+	src := listen(t, sim, netip.AddrPort{})
+
+	path := corePath(t)
+	// Claim the packet already entered through interface 1: a host
+	// inside the AS cannot legitimately send that.
+	path.Infos[0].ConsDir = false // data ingress = ConsEgress = 1
+
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+			SrcHost: src.conn.LocalAddr().Addr(),
+			Path:    path,
+		},
+		UDP:     &slayers.UDP{SrcPort: 1, DstPort: 2},
+		Payload: []byte("spoof"),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.conn.Send(raw, ra.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if ra.Metrics().IngressDrops.Load() != 1 {
+		t.Errorf("ingress drops = %d, want 1", ra.Metrics().IngressDrops.Load())
+	}
+}

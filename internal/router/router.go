@@ -1,0 +1,471 @@
+// Package router implements the SCION border router: it terminates the
+// IP-UDP "layer 2.5" underlay, verifies hop-field MACs with the AS's
+// forwarding key, advances the path, and forwards packets to the next
+// border router or delivers them to AS-local end hosts. It also
+// originates SCMP error messages and answers traceroute requests.
+//
+// One Router instance models an AS's border-router plane (the paper's
+// lean deployments run a single commodity server per AS, Section 4.3.2).
+// It is written against simnet.Network and runs identically on the
+// discrete-event simulator and on real loopback UDP sockets.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"sciera/internal/addr"
+	"sciera/internal/scrypto"
+	"sciera/internal/simnet"
+	"sciera/internal/slayers"
+	"sciera/internal/spath"
+)
+
+// DispatcherPort is the well-known underlay port of the legacy
+// dispatcher (Section 4.8). A router configured with UseDispatcher
+// delivers all local traffic there instead of directly to the
+// application's port.
+//
+// Even in dispatcherless mode the port retains one role, exactly as in
+// the production migration: SCMP *requests* (echo, traceroute) address
+// a host, not a socket, so they are delivered to this well-known
+// end-host port where the SCION stack's responder listens. Replies and
+// errors are demultiplexed to the probing application directly.
+const DispatcherPort = 30041
+
+// EndhostPort is the alias used when referring to the port's
+// dispatcherless role.
+const EndhostPort = DispatcherPort
+
+// Metrics counts router events; all fields are atomic.
+type Metrics struct {
+	Received      atomic.Uint64
+	Forwarded     atomic.Uint64
+	Delivered     atomic.Uint64
+	MACFailures   atomic.Uint64
+	IngressDrops  atomic.Uint64
+	NoRouteDrops  atomic.Uint64
+	LinkDownDrops atomic.Uint64
+	ParseFailures atomic.Uint64
+	SCMPSent      atomic.Uint64
+}
+
+// Config configures a Router.
+type Config struct {
+	IA  addr.IA
+	Key scrypto.HopKey
+	Net simnet.Network
+	// LocalAddr is the underlay bind address (zero for automatic).
+	LocalAddr netip.AddrPort
+	// UseDispatcher delivers AS-local traffic to the shared dispatcher
+	// port instead of the application's own UDP port.
+	UseDispatcher bool
+	// LinkUp reports interface state; nil means always up. The
+	// simulator flips this to model L2 circuit failures.
+	LinkUp func(ifID uint16) bool
+	// Metrics receives counters; nil allocates private ones.
+	Metrics *Metrics
+}
+
+// iface is one external interface: a dedicated underlay socket (as in
+// production border routers, one socket per L2 circuit) plus the remote
+// end's address.
+type iface struct {
+	conn   simnet.Conn
+	remote netip.AddrPort
+}
+
+// Router is a border router instance.
+type Router struct {
+	cfg Config
+	// conn is the AS-internal socket: end hosts send here, local
+	// delivery and SCMP origination leave from here.
+	conn simnet.Conn
+
+	mu     sync.RWMutex
+	ifaces map[uint16]*iface
+
+	metrics *Metrics
+}
+
+// New binds the router's internal socket.
+func New(cfg Config) (*Router, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("router: Config.Net required")
+	}
+	r := &Router{
+		cfg:     cfg,
+		ifaces:  make(map[uint16]*iface),
+		metrics: cfg.Metrics,
+	}
+	if r.metrics == nil {
+		r.metrics = &Metrics{}
+	}
+	conn, err := cfg.Net.Listen(cfg.LocalAddr, func(pkt []byte, from netip.AddrPort) {
+		r.handle(pkt, 0, originInternal)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("router %v: %w", cfg.IA, err)
+	}
+	r.conn = conn
+	return r, nil
+}
+
+// LocalAddr returns the router's internal underlay address — where end
+// hosts in the AS send their packets.
+func (r *Router) LocalAddr() netip.AddrPort { return r.conn.LocalAddr() }
+
+// IA returns the router's AS.
+func (r *Router) IA() addr.IA { return r.cfg.IA }
+
+// Metrics returns the router's counters.
+func (r *Router) Metrics() *Metrics { return r.metrics }
+
+// AddInterface creates the underlay socket for a local interface and
+// returns its address (the L2 circuit endpoint the neighbor sends to).
+func (r *Router) AddInterface(ifID uint16) (netip.AddrPort, error) {
+	conn, err := r.cfg.Net.Listen(netip.AddrPortFrom(r.conn.LocalAddr().Addr(), 0),
+		func(pkt []byte, from netip.AddrPort) {
+			r.handle(pkt, ifID, originExternal)
+		})
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("router %v if %d: %w", r.cfg.IA, ifID, err)
+	}
+	r.mu.Lock()
+	r.ifaces[ifID] = &iface{conn: conn}
+	r.mu.Unlock()
+	return conn.LocalAddr(), nil
+}
+
+// ConnectInterface sets the neighbor's circuit endpoint for a local
+// interface previously created with AddInterface.
+func (r *Router) ConnectInterface(ifID uint16, remote netip.AddrPort) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it, ok := r.ifaces[ifID]
+	if !ok {
+		return fmt.Errorf("router %v: unknown interface %d", r.cfg.IA, ifID)
+	}
+	it.remote = remote
+	return nil
+}
+
+// InterfaceAddr returns the local circuit endpoint of an interface.
+func (r *Router) InterfaceAddr(ifID uint16) (netip.AddrPort, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	it, ok := r.ifaces[ifID]
+	if !ok {
+		return netip.AddrPort{}, false
+	}
+	return it.conn.LocalAddr(), true
+}
+
+// Close detaches all sockets.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, it := range r.ifaces {
+		_ = it.conn.Close()
+	}
+	return r.conn.Close()
+}
+
+func (r *Router) linkUp(ifID uint16) bool {
+	if r.cfg.LinkUp == nil {
+		return true
+	}
+	return r.cfg.LinkUp(ifID)
+}
+
+// handle processes one underlay datagram.
+func (r *Router) handle(raw []byte, inIf uint16, origin originKind) {
+	r.metrics.Received.Add(1)
+	var pkt slayers.Packet
+	if err := pkt.Decode(raw); err != nil {
+		r.metrics.ParseFailures.Add(1)
+		return
+	}
+	r.process(&pkt, inIf, origin)
+}
+
+// origin classifies where a packet entered the router.
+type originKind int
+
+const (
+	originInternal originKind = iota // AS-internal host or service
+	originExternal                   // neighbor border router
+	originSelf                       // generated by this router (SCMP)
+)
+
+// process runs the forwarding pipeline. inIf is the arrival interface
+// (meaningful only for originExternal).
+func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
+	// Empty path: AS-local delivery only.
+	if pkt.Hdr.Path.IsEmpty() {
+		if pkt.Hdr.DstIA == r.cfg.IA && origin != originExternal {
+			r.deliverLocal(pkt)
+			return
+		}
+		r.metrics.NoRouteDrops.Add(1)
+		return
+	}
+
+	first := true
+	for {
+		info, err := pkt.Hdr.Path.CurrentInfo()
+		if err != nil {
+			r.metrics.ParseFailures.Add(1)
+			return
+		}
+		hop, err := pkt.Hdr.Path.CurrentHop()
+		if err != nil {
+			r.metrics.ParseFailures.Add(1)
+			return
+		}
+
+		// Ingress check on the first processed hop. Self-originated
+		// packets (SCMP replies on a mid-flight reversed path) skip it:
+		// their first hop legitimately carries the interface the
+		// original packet arrived on.
+		if first {
+			wantIn := spath.DataIngress(info, hop)
+			switch origin {
+			case originExternal:
+				if wantIn != inIf {
+					r.metrics.IngressDrops.Add(1)
+					return
+				}
+			case originInternal:
+				if wantIn != 0 {
+					r.metrics.IngressDrops.Add(1)
+					return
+				}
+			}
+			first = false
+		}
+
+		// MAC verification. Peer-crossing hops (the boundary hops of a
+		// Peer-flagged segment) verify against the accumulator as-is;
+		// normal hops run the fold/advance algebra.
+		peerCross := info.Peer &&
+			((info.ConsDir && pkt.Hdr.Path.IsFirstHopOfSegment()) ||
+				(!info.ConsDir && pkt.Hdr.Path.IsLastHopOfSegment()))
+		valid := false
+		if peerCross {
+			valid = spath.VerifyPeerHop(r.cfg.Key, info, hop)
+		} else {
+			valid = spath.VerifyHop(r.cfg.Key, info, hop)
+		}
+		if !valid {
+			r.metrics.MACFailures.Add(1)
+			r.sendSCMPError(pkt, &slayers.SCMP{
+				Type:    slayers.SCMPParameterProblem,
+				Pointer: uint16(pkt.Hdr.Path.CurrHF),
+			})
+			return
+		}
+
+		// Traceroute: answer router-alert hops addressed to us.
+		if hop.RouterAlert && pkt.SCMP != nil && pkt.SCMP.Type == slayers.SCMPTracerouteRequest {
+			r.answerTraceroute(pkt, spath.DataIngress(info, hop))
+			return
+		}
+
+		egress := spath.DataEgress(info, hop)
+		if pkt.Hdr.Path.IsLastHop() {
+			if egress == 0 && pkt.Hdr.DstIA == r.cfg.IA {
+				r.deliverLocal(pkt)
+			} else {
+				r.metrics.NoRouteDrops.Add(1)
+				if egress == 0 {
+					r.sendSCMPError(pkt, &slayers.SCMP{
+						Type: slayers.SCMPDestinationUnreachable,
+						Code: slayers.CodeNoRoute,
+					})
+				}
+			}
+			return
+		}
+		if pkt.Hdr.Path.IsLastHopOfSegment() && !(peerCross && egress != 0) {
+			// Segment crossover (XOVER): the next segment's first hop
+			// belongs to this AS too. This covers core joints (egress
+			// 0) and non-core shortcuts, where the next hop decides the
+			// true egress. A peer-crossing hop with an egress instead
+			// forwards over the peering link: the far side of the link
+			// starts the next segment.
+			if err := pkt.Hdr.Path.IncHop(); err != nil {
+				r.metrics.ParseFailures.Add(1)
+				return
+			}
+			continue
+		}
+		if egress == 0 {
+			// A non-terminal, non-boundary hop without an egress is
+			// malformed.
+			r.metrics.NoRouteDrops.Add(1)
+			return
+		}
+
+		// Forward out of egress.
+		r.mu.RLock()
+		out, ok := r.ifaces[egress]
+		r.mu.RUnlock()
+		if !ok || !out.remote.IsValid() {
+			r.metrics.NoRouteDrops.Add(1)
+			r.sendSCMPError(pkt, &slayers.SCMP{
+				Type: slayers.SCMPDestinationUnreachable,
+				Code: slayers.CodeNoRoute,
+			})
+			return
+		}
+		if !r.linkUp(egress) {
+			r.metrics.LinkDownDrops.Add(1)
+			r.sendSCMPError(pkt, &slayers.SCMP{
+				Type: slayers.SCMPExternalInterfaceDown,
+				IA:   addr.IA(r.cfg.IA),
+				IfID: uint64(egress),
+			})
+			return
+		}
+		if err := pkt.Hdr.Path.IncHop(); err != nil {
+			r.metrics.ParseFailures.Add(1)
+			return
+		}
+		raw, err := pkt.Serialize(nil)
+		if err != nil {
+			r.metrics.ParseFailures.Add(1)
+			return
+		}
+		r.metrics.Forwarded.Add(1)
+		_ = out.conn.Send(raw, out.remote)
+		return
+	}
+}
+
+// deliverLocal hands the packet to the destination end host over the
+// intra-AS underlay: directly to the application's UDP port in
+// dispatcherless mode, or to the shared dispatcher port.
+func (r *Router) deliverLocal(pkt *slayers.Packet) {
+	port, ok := r.localPort(pkt)
+	if !ok {
+		r.metrics.NoRouteDrops.Add(1)
+		r.sendSCMPError(pkt, &slayers.SCMP{
+			Type: slayers.SCMPDestinationUnreachable,
+			Code: slayers.CodePortUnreach,
+		})
+		return
+	}
+	out, err := pkt.Serialize(nil)
+	if err != nil {
+		r.metrics.ParseFailures.Add(1)
+		return
+	}
+	r.metrics.Delivered.Add(1)
+	_ = r.conn.Send(out, netip.AddrPortFrom(pkt.Hdr.DstHost, port))
+}
+
+// localPort determines the underlay port for local delivery.
+func (r *Router) localPort(pkt *slayers.Packet) (uint16, bool) {
+	if r.cfg.UseDispatcher {
+		return DispatcherPort, true
+	}
+	switch {
+	case pkt.UDP != nil:
+		return pkt.UDP.DstPort, true
+	case pkt.SCMP != nil:
+		switch pkt.SCMP.Type {
+		case slayers.SCMPEchoRequest, slayers.SCMPTracerouteRequest:
+			// Requests address the host, not a socket: deliver to the
+			// well-known end-host SCMP port.
+			return EndhostPort, true
+		case slayers.SCMPEchoReply, slayers.SCMPTracerouteReply:
+			// By convention the identifier is the prober's underlay
+			// port (the dispatcher historically demultiplexed on it).
+			return pkt.SCMP.Identifier, true
+		default:
+			// Error message: route to the offending packet's source
+			// port, parsed from the quote.
+			var quoted slayers.Packet
+			if err := quoted.Decode(pkt.Payload); err != nil {
+				return 0, false
+			}
+			if quoted.UDP != nil {
+				return quoted.UDP.SrcPort, true
+			}
+			if quoted.SCMP != nil {
+				return quoted.SCMP.Identifier, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// sendSCMPError originates an SCMP error back to the packet's source,
+// quoting the offending packet. Errors are never sent in response to
+// SCMP errors (ICMP's classic amplification guard).
+func (r *Router) sendSCMPError(offending *slayers.Packet, scmp *slayers.SCMP) {
+	if offending.SCMP != nil && offending.SCMP.Type.IsError() {
+		return
+	}
+	rev, err := spath.ReverseFromCurrent(&offending.Hdr.Path)
+	if err != nil {
+		return
+	}
+	quote, err := offending.Serialize(nil)
+	if err != nil {
+		return
+	}
+	if len(quote) > 512 {
+		quote = quote[:512]
+	}
+	reply := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   offending.Hdr.SrcIA,
+			SrcIA:   r.cfg.IA,
+			DstHost: offending.Hdr.SrcHost,
+			SrcHost: r.conn.LocalAddr().Addr(),
+			Path:    *rev,
+		},
+		SCMP:    scmp,
+		Payload: quote,
+	}
+	r.metrics.SCMPSent.Add(1)
+	r.inject(reply)
+}
+
+// answerTraceroute responds to a router-alerted traceroute request.
+func (r *Router) answerTraceroute(req *slayers.Packet, ifID uint16) {
+	rev, err := spath.ReverseFromCurrent(&req.Hdr.Path)
+	if err != nil {
+		return
+	}
+	reply := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   req.Hdr.SrcIA,
+			SrcIA:   r.cfg.IA,
+			DstHost: req.Hdr.SrcHost,
+			SrcHost: r.conn.LocalAddr().Addr(),
+			Path:    *rev,
+		},
+		SCMP: &slayers.SCMP{
+			Type:       slayers.SCMPTracerouteReply,
+			Identifier: req.SCMP.Identifier,
+			SeqNo:      req.SCMP.SeqNo,
+			IA:         r.cfg.IA,
+			IfID:       uint64(ifID),
+		},
+	}
+	r.metrics.SCMPSent.Add(1)
+	r.inject(reply)
+}
+
+// inject runs a router-originated packet through the forwarding
+// pipeline.
+func (r *Router) inject(pkt *slayers.Packet) {
+	r.process(pkt, 0, originSelf)
+}

@@ -1,0 +1,46 @@
+package sciera
+
+import "testing"
+
+// TestRegionLabels pins the region labels used in reports and the
+// Figure 1 rendering.
+func TestRegionLabels(t *testing.T) {
+	cases := map[Region]string{
+		Europe:       "EU",
+		NorthAmerica: "NA",
+		Asia:         "ASIA",
+		SouthAmerica: "SA",
+		Africa:       "AF",
+		Region(42):   "?",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+// TestDeploymentKindLabels pins the learning-curve class labels.
+func TestDeploymentKindLabels(t *testing.T) {
+	cases := map[DeploymentKind]string{
+		KindCoreBackbone:   "core-backbone",
+		KindNRENAttach:     "nren-attach",
+		KindLeafVLAN:       "leaf-vlan",
+		KindLeafNewVLAN:    "leaf-new-vlan",
+		DeploymentKind(42): "?",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("DeploymentKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	// Every site carries a valid region and kind label.
+	for _, s := range Sites() {
+		if s.Region.String() == "?" {
+			t.Errorf("site %s has unknown region", s.Name)
+		}
+		if s.Kind.String() == "?" {
+			t.Errorf("site %s has unknown deployment kind", s.Name)
+		}
+	}
+}

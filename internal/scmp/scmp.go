@@ -1,0 +1,345 @@
+// Package scmp implements SCMP echo clients and responders — the
+// primitives behind `scion ping` and the scion-go-multiping measurement
+// tool (Section 5.4). The pinger is callback-based so the discrete-event
+// campaigns can run millions of probes deterministically; a blocking
+// wrapper covers interactive use.
+package scmp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/simnet"
+	"sciera/internal/slayers"
+	"sciera/internal/spath"
+)
+
+// ErrTimeout reports a lost probe.
+var ErrTimeout = errors.New("scmp: echo timed out")
+
+// Pinger sends SCMP echo requests over explicit paths.
+type Pinger struct {
+	LocalIA addr.IA
+	// RouterAddr is the local border router's underlay address.
+	RouterAddr netip.AddrPort
+
+	net  simnet.Network
+	conn simnet.Conn
+
+	mu           sync.Mutex
+	nextSeq      uint16
+	pending      map[uint16]func(time.Duration, error)
+	sent         map[uint16]time.Time
+	tracePending map[uint16]func(addr.IA, uint64)
+}
+
+// NewPinger binds a pinger inside the local AS.
+func NewPinger(net simnet.Network, localIA addr.IA, routerAddr netip.AddrPort, local netip.AddrPort) (*Pinger, error) {
+	p := &Pinger{
+		LocalIA:      localIA,
+		RouterAddr:   routerAddr,
+		net:          net,
+		pending:      make(map[uint16]func(time.Duration, error)),
+		sent:         make(map[uint16]time.Time),
+		tracePending: make(map[uint16]func(addr.IA, uint64)),
+	}
+	conn, err := net.Listen(local, p.handle)
+	if err != nil {
+		return nil, err
+	}
+	p.conn = conn
+	return p, nil
+}
+
+// Close releases the pinger socket.
+func (p *Pinger) Close() error { return p.conn.Close() }
+
+// Addr returns the pinger's underlay address.
+func (p *Pinger) Addr() netip.AddrPort { return p.conn.LocalAddr() }
+
+func (p *Pinger) handle(raw []byte, _ netip.AddrPort) {
+	var pkt slayers.Packet
+	if err := pkt.Decode(raw); err != nil {
+		return
+	}
+	if pkt.SCMP == nil {
+		return
+	}
+	switch pkt.SCMP.Type {
+	case slayers.SCMPTracerouteReply:
+		p.mu.Lock()
+		cb := p.tracePending[pkt.SCMP.SeqNo]
+		delete(p.tracePending, pkt.SCMP.SeqNo)
+		p.mu.Unlock()
+		if cb != nil {
+			cb(pkt.SCMP.IA, pkt.SCMP.IfID)
+		}
+	case slayers.SCMPEchoReply:
+		p.mu.Lock()
+		cb := p.pending[pkt.SCMP.SeqNo]
+		sentAt, ok := p.sent[pkt.SCMP.SeqNo]
+		delete(p.pending, pkt.SCMP.SeqNo)
+		delete(p.sent, pkt.SCMP.SeqNo)
+		p.mu.Unlock()
+		if cb != nil && ok {
+			cb(p.net.Now().Sub(sentAt), nil)
+		}
+	default:
+		if !pkt.SCMP.Type.IsError() {
+			return
+		}
+		// An SCMP error in response to one of our probes: fail the
+		// matching probe immediately (identified via the quoted packet).
+		var quoted slayers.Packet
+		if err := quoted.Decode(pkt.Payload); err != nil || quoted.SCMP == nil {
+			return
+		}
+		seq := quoted.SCMP.SeqNo
+		p.mu.Lock()
+		cb := p.pending[seq]
+		delete(p.pending, seq)
+		delete(p.sent, seq)
+		p.mu.Unlock()
+		if cb != nil {
+			cb(0, fmt.Errorf("scmp: %v from %v", pkt.SCMP.Type, pkt.Hdr.SrcIA))
+		}
+	}
+}
+
+// Ping sends one echo over the given path and calls cb exactly once
+// with the measured RTT or an error. A nil path pings within the AS.
+func (p *Pinger) Ping(dst addr.IA, dstHost netip.Addr, path *combinator.Path, timeout time.Duration, cb func(time.Duration, error)) {
+	p.mu.Lock()
+	p.nextSeq++
+	seq := p.nextSeq
+	var once sync.Once
+	var cancel func()
+	fire := func(rtt time.Duration, err error) {
+		once.Do(func() {
+			if cancel != nil {
+				cancel()
+			}
+			cb(rtt, err)
+		})
+	}
+	p.pending[seq] = fire
+	p.sent[seq] = p.net.Now()
+	p.mu.Unlock()
+
+	var raw spath.Path
+	if path != nil {
+		raw = *path.Raw.Copy()
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   dst,
+			SrcIA:   p.LocalIA,
+			DstHost: dstHost,
+			SrcHost: p.conn.LocalAddr().Addr(),
+			Path:    raw,
+		},
+		SCMP: &slayers.SCMP{
+			Type:       slayers.SCMPEchoRequest,
+			Identifier: p.conn.LocalAddr().Port(),
+			SeqNo:      seq,
+		},
+	}
+	out, err := pkt.Serialize(nil)
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		delete(p.sent, seq)
+		p.mu.Unlock()
+		fire(0, err)
+		return
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	cancel = p.net.AfterFunc(timeout, func() {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		delete(p.sent, seq)
+		p.mu.Unlock()
+		fire(0, ErrTimeout)
+	})
+	if err := p.conn.Send(out, p.RouterAddr); err != nil {
+		fire(0, err)
+	}
+}
+
+// PingSync is the blocking variant (transport must be driven
+// independently).
+func (p *Pinger) PingSync(dst addr.IA, dstHost netip.Addr, path *combinator.Path, timeout time.Duration) (time.Duration, error) {
+	type result struct {
+		rtt time.Duration
+		err error
+	}
+	ch := make(chan result, 1)
+	p.Ping(dst, dstHost, path, timeout, func(rtt time.Duration, err error) {
+		ch <- result{rtt, err}
+	})
+	res := <-ch
+	return res.rtt, res.err
+}
+
+// Hop is one traceroute result.
+type Hop struct {
+	IA   addr.IA
+	IfID uint64
+	RTT  time.Duration
+}
+
+// Traceroute probes every AS hop of a path by sending one
+// router-alerted request per hop (the `scion traceroute` mechanism:
+// border routers answer requests whose current hop carries the router
+// alert flag). The callback receives the hops in order; failed probes
+// appear with a zero IA.
+func (p *Pinger) Traceroute(dst addr.IA, path *combinator.Path, timeout time.Duration, cb func([]Hop, error)) {
+	nHops := len(path.Raw.Hops)
+	hops := make([]Hop, 0, nHops)
+	var probe func(i int)
+	probe = func(i int) {
+		if i >= nHops {
+			cb(hops, nil)
+			return
+		}
+		raw := *path.Raw.Copy()
+		raw.Hops[i].RouterAlert = true
+
+		p.mu.Lock()
+		p.nextSeq++
+		seq := p.nextSeq
+		var once sync.Once
+		var cancel func()
+		sentAt := p.net.Now()
+		fire := func(hop Hop, err error) {
+			once.Do(func() {
+				if cancel != nil {
+					cancel()
+				}
+				hops = append(hops, hop)
+				probe(i + 1)
+			})
+		}
+		p.tracePending[seq] = func(ia addr.IA, ifID uint64) {
+			fire(Hop{IA: ia, IfID: ifID, RTT: p.net.Now().Sub(sentAt)}, nil)
+		}
+		p.mu.Unlock()
+
+		pkt := &slayers.Packet{
+			Hdr: slayers.SCION{
+				DstIA:   dst,
+				SrcIA:   p.LocalIA,
+				DstHost: p.conn.LocalAddr().Addr(),
+				SrcHost: p.conn.LocalAddr().Addr(),
+				Path:    raw,
+			},
+			SCMP: &slayers.SCMP{
+				Type:       slayers.SCMPTracerouteRequest,
+				Identifier: p.conn.LocalAddr().Port(),
+				SeqNo:      seq,
+			},
+		}
+		out, err := pkt.Serialize(nil)
+		if err != nil {
+			cb(hops, err)
+			return
+		}
+		if timeout <= 0 {
+			timeout = 2 * time.Second
+		}
+		cancel = p.net.AfterFunc(timeout, func() {
+			p.mu.Lock()
+			delete(p.tracePending, seq)
+			p.mu.Unlock()
+			fire(Hop{}, nil) // unanswered hop
+		})
+		if err := p.conn.Send(out, p.RouterAddr); err != nil {
+			cb(hops, err)
+		}
+	}
+	probe(0)
+}
+
+// Responder answers SCMP echo requests — the piece deployed in every
+// SCIERA AS so that "we also send ping messages to ASes where the tool
+// is not deployed" works.
+type Responder struct {
+	LocalIA    addr.IA
+	RouterAddr netip.AddrPort
+	conn       simnet.Conn
+	// Answered counts replies sent.
+	mu       sync.Mutex
+	answered uint64
+}
+
+// NewResponder binds a responder at the given host address.
+func NewResponder(net simnet.Network, localIA addr.IA, routerAddr netip.AddrPort, local netip.AddrPort) (*Responder, error) {
+	r := &Responder{LocalIA: localIA, RouterAddr: routerAddr}
+	conn, err := net.Listen(local, r.handle)
+	if err != nil {
+		return nil, err
+	}
+	r.conn = conn
+	return r, nil
+}
+
+// Addr returns the responder's underlay address (the address to ping).
+func (r *Responder) Addr() netip.AddrPort { return r.conn.LocalAddr() }
+
+// Answered returns the number of echo replies sent.
+func (r *Responder) Answered() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.answered
+}
+
+// Close stops the responder.
+func (r *Responder) Close() error { return r.conn.Close() }
+
+func (r *Responder) handle(raw []byte, _ netip.AddrPort) {
+	var pkt slayers.Packet
+	if err := pkt.Decode(raw); err != nil {
+		return
+	}
+	if pkt.SCMP == nil || pkt.SCMP.Type != slayers.SCMPEchoRequest {
+		return
+	}
+	rev, err := spath.ReverseFromCurrent(&pkt.Hdr.Path)
+	if err != nil {
+		return
+	}
+	reply := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA:   pkt.Hdr.SrcIA,
+			SrcIA:   r.LocalIA,
+			DstHost: pkt.Hdr.SrcHost,
+			SrcHost: r.conn.LocalAddr().Addr(),
+			Path:    *rev,
+		},
+		SCMP: &slayers.SCMP{
+			Type:       slayers.SCMPEchoReply,
+			Identifier: pkt.SCMP.Identifier,
+			SeqNo:      pkt.SCMP.SeqNo,
+		},
+		Payload: append([]byte(nil), pkt.Payload...),
+	}
+	out, err := reply.Serialize(nil)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.answered++
+	r.mu.Unlock()
+	if pkt.Hdr.SrcIA == r.LocalIA && pkt.Hdr.Path.IsEmpty() {
+		// AS-internal ping: reply directly through the router too, so
+		// delivery stays uniform.
+	}
+	_ = r.conn.Send(out, r.RouterAddr)
+}

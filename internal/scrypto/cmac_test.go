@@ -1,0 +1,143 @@
+package scrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// RFC 4493 test vectors (AES-128 key 2b7e1516...).
+func TestCMACRFC4493(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	msg := mustHex(t, "6bc1bee22e409f96e93d7e117393172a"+
+		"ae2d8a571e03ac9c9eb76fac45af8e51"+
+		"30c81c46a35ce411e5fbc1191a0a52ef"+
+		"f69f2445df4f9b17ad2b417be66c3710")
+	cases := []struct {
+		n   int
+		mac string
+	}{
+		{0, "bb1d6929e95937287fa37d129b756746"},
+		{16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{40, "dfa66747de9ae63030ca32611497c827"},
+		{64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	m, err := NewCMAC(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		got := m.Sum(nil, msg[:c.n])
+		want := mustHex(t, c.mac)
+		if !bytes.Equal(got, want) {
+			t.Errorf("CMAC(len=%d) = %x, want %x", c.n, got, want)
+		}
+	}
+}
+
+func TestCMACSubkeys(t *testing.T) {
+	// RFC 4493 subkey generation vectors.
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	m, err := NewCMAC(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK1 := mustHex(t, "fbeed618357133667c85e08f7236a8de")
+	wantK2 := mustHex(t, "f7ddac306ae266ccf90bc11ee46d513b")
+	if !bytes.Equal(m.k1[:], wantK1) {
+		t.Errorf("K1 = %x, want %x", m.k1, wantK1)
+	}
+	if !bytes.Equal(m.k2[:], wantK2) {
+		t.Errorf("K2 = %x, want %x", m.k2, wantK2)
+	}
+}
+
+func TestCMACVerify(t *testing.T) {
+	key := make([]byte, 16)
+	m, err := NewCMAC(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello scion")
+	mac := m.Sum(nil, msg)
+	if !m.Verify(msg, mac) {
+		t.Error("full MAC did not verify")
+	}
+	if !m.Verify(msg, mac[:6]) {
+		t.Error("truncated MAC did not verify")
+	}
+	if m.Verify(msg, mac[:5]) {
+		t.Error("too-short MAC accepted")
+	}
+	bad := append([]byte(nil), mac...)
+	bad[0] ^= 1
+	if m.Verify(msg, bad) {
+		t.Error("tampered MAC accepted")
+	}
+	if m.Verify(append(msg, 'x'), mac) {
+		t.Error("tampered message accepted")
+	}
+}
+
+func TestCMACKeySizes(t *testing.T) {
+	for _, n := range []int{16, 24, 32} {
+		if _, err := NewCMAC(make([]byte, n)); err != nil {
+			t.Errorf("key size %d rejected: %v", n, err)
+		}
+	}
+	for _, n := range []int{0, 8, 15, 17, 33} {
+		if _, err := NewCMAC(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+// Property: MAC is deterministic, and distinct messages (almost surely)
+// yield distinct MACs.
+func TestCMACDeterministic(t *testing.T) {
+	m, _ := NewCMAC(make([]byte, 16))
+	f := func(msg []byte) bool {
+		a := m.Sum(nil, msg)
+		b := m.Sum(nil, msg)
+		return bytes.Equal(a, b) && len(a) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMACAppend(t *testing.T) {
+	m, _ := NewCMAC(make([]byte, 16))
+	prefix := []byte{0xaa, 0xbb}
+	out := m.Sum(prefix, []byte("x"))
+	if !bytes.Equal(out[:2], prefix) {
+		t.Error("Sum did not append to dst")
+	}
+	if len(out) != 18 {
+		t.Errorf("len = %d", len(out))
+	}
+}
+
+func BenchmarkCMAC16B(b *testing.B) { benchCMAC(b, 16) }
+func BenchmarkCMAC1K(b *testing.B)  { benchCMAC(b, 1024) }
+
+func benchCMAC(b *testing.B, n int) {
+	m, _ := NewCMAC(make([]byte, 16))
+	msg := make([]byte, n)
+	dst := make([]byte, 0, 16)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = m.Sum(dst[:0], msg)
+	}
+}

@@ -1,0 +1,114 @@
+package scrypto
+
+import (
+	"encoding/binary"
+	"time"
+
+	"sciera/internal/addr"
+)
+
+// DRKey implements a simplified DRKey-style key-derivation hierarchy as
+// used by LightningFilter for line-rate per-packet source authentication.
+//
+// The hierarchy has three levels:
+//
+//	SV          — the AS's secret value for an epoch (level 0)
+//	Lvl1(A→B)   — derived by A for peer AS B; fetched by B's infrastructure
+//	HostKey     — derived from Lvl1 for a specific end host
+//
+// Derivation is one-way (AES-CMAC based), so possession of a lower-level
+// key reveals nothing about its siblings or parents. The defining DRKey
+// property is that the *verifier* side (A, which owns SV) can derive any
+// key on the fly with a single CMAC, enabling per-packet authentication
+// without key lookups.
+type DRKey [16]byte
+
+// SecretValue is an AS's epoch-scoped root secret.
+type SecretValue struct {
+	Key   DRKey
+	Epoch Epoch
+}
+
+// Epoch is a key validity window.
+type Epoch struct {
+	Begin, End time.Time
+}
+
+// Contains reports whether t falls inside the epoch.
+func (e Epoch) Contains(t time.Time) bool {
+	return !t.Before(e.Begin) && t.Before(e.End)
+}
+
+// DeriveSecretValue computes an AS's secret value for the epoch that
+// contains t, using epochs of the given duration aligned to the Unix epoch.
+func DeriveSecretValue(master []byte, t time.Time, epochLen time.Duration) (SecretValue, error) {
+	idx := t.UnixNano() / int64(epochLen)
+	begin := time.Unix(0, idx*int64(epochLen))
+	m, err := NewCMAC(pad16(master))
+	if err != nil {
+		return SecretValue{}, err
+	}
+	var in [16]byte
+	copy(in[:8], "drkeysv0")
+	binary.BigEndian.PutUint64(in[8:], uint64(idx))
+	var sv SecretValue
+	copy(sv.Key[:], m.Sum(nil, in[:]))
+	sv.Epoch = Epoch{Begin: begin, End: begin.Add(epochLen)}
+	return sv, nil
+}
+
+// DeriveLvl1 derives the level-1 key A→B from A's secret value.
+func DeriveLvl1(sv SecretValue, dst addr.IA) (DRKey, error) {
+	return derive(DRKey(sv.Key), 'L', uint64(dst), 0)
+}
+
+// DeriveHostKey derives the host key for a destination end host from the
+// level-1 key, binding it to the host's numeric identity.
+func DeriveHostKey(lvl1 DRKey, host uint64) (DRKey, error) {
+	return derive(lvl1, 'H', host, 0)
+}
+
+// PacketMAC authenticates a packet — source AS, timestamp, and the full
+// payload contents — under a host key, as LightningFilter does per
+// packet.
+func PacketMAC(key DRKey, src addr.IA, tsNanos uint64, payload []byte) ([HopMACLen]byte, error) {
+	m, err := NewCMAC(key[:])
+	if err != nil {
+		return [HopMACLen]byte{}, err
+	}
+	in := make([]byte, 24+len(payload))
+	binary.BigEndian.PutUint64(in[0:8], uint64(src))
+	binary.BigEndian.PutUint64(in[8:16], tsNanos)
+	binary.BigEndian.PutUint64(in[16:24], uint64(len(payload)))
+	copy(in[24:], payload)
+	full := m.Sum(nil, in)
+	var out [HopMACLen]byte
+	copy(out[:], full)
+	return out, nil
+}
+
+func derive(parent DRKey, tag byte, a, b uint64) (DRKey, error) {
+	m, err := NewCMAC(parent[:])
+	if err != nil {
+		return DRKey{}, err
+	}
+	var in [17]byte
+	in[0] = tag
+	binary.BigEndian.PutUint64(in[1:9], a)
+	binary.BigEndian.PutUint64(in[9:17], b)
+	var out DRKey
+	copy(out[:], m.Sum(nil, in[:]))
+	return out, nil
+}
+
+// pad16 extends or hashes a secret down to a valid AES key length.
+func pad16(secret []byte) []byte {
+	if len(secret) == 16 || len(secret) == 24 || len(secret) == 32 {
+		return secret
+	}
+	out := make([]byte, 16)
+	for i, b := range secret {
+		out[i%16] ^= b
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package scrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// HopMACLen is the truncated MAC length carried in SCION hop fields.
+const HopMACLen = 6
+
+// HopKey is the per-AS forwarding key used to authenticate hop fields.
+// Each AS derives it from a local secret; it never leaves the AS.
+type HopKey [16]byte
+
+// DeriveHopKey derives an AS's hop-field key from a master secret. In a
+// production deployment the master secret lives in the control service;
+// here it is derived deterministically so simulated ASes agree with their
+// own routers.
+func DeriveHopKey(master []byte, epoch uint32) HopKey {
+	mac := hmac.New(sha256.New, master)
+	var e [8]byte
+	binary.BigEndian.PutUint32(e[:4], epoch)
+	copy(e[4:], "hopk")
+	mac.Write(e[:])
+	var k HopKey
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// HopMACInput is the byte string authenticated by a hop-field MAC: the
+// segment's info-field accumulator (beta), the hop expiry, and the
+// ingress/egress interface identifiers. This chaining prevents splicing
+// hop fields across segments: each hop's MAC depends on the accumulator,
+// which itself is updated with the previous hop's MAC.
+type HopMACInput struct {
+	Beta      uint16 // accumulator from the info field
+	Timestamp uint32 // segment creation timestamp
+	ExpTime   uint8  // hop expiry (relative units)
+	ConsIngress,
+	ConsEgress uint16 // interfaces in construction direction
+}
+
+// Encode writes the 16-byte MAC input block.
+func (in HopMACInput) Encode(b *[16]byte) {
+	binary.BigEndian.PutUint16(b[0:2], in.Beta)
+	binary.BigEndian.PutUint32(b[2:6], in.Timestamp)
+	b[6] = in.ExpTime
+	b[7] = 0
+	binary.BigEndian.PutUint16(b[8:10], in.ConsIngress)
+	binary.BigEndian.PutUint16(b[10:12], in.ConsEgress)
+	// bytes 12-15 are reserved zero
+	b[12], b[13], b[14], b[15] = 0, 0, 0, 0
+}
+
+// ComputeHopMAC computes the truncated hop-field MAC for the given input
+// under the AS's hop key.
+func ComputeHopMAC(key HopKey, in HopMACInput) ([HopMACLen]byte, error) {
+	m, err := NewCMAC(key[:])
+	if err != nil {
+		return [HopMACLen]byte{}, err
+	}
+	var block [16]byte
+	in.Encode(&block)
+	full := m.Sum(nil, block[:])
+	var out [HopMACLen]byte
+	copy(out[:], full)
+	return out, nil
+}
+
+// VerifyHopMAC checks a truncated hop-field MAC in constant time.
+func VerifyHopMAC(key HopKey, in HopMACInput, mac [HopMACLen]byte) bool {
+	want, err := ComputeHopMAC(key, in)
+	if err != nil {
+		return false
+	}
+	var diff byte
+	for i := range want {
+		diff |= want[i] ^ mac[i]
+	}
+	return diff == 0
+}
+
+// UpdateBeta advances the info-field accumulator with a hop MAC, chaining
+// consecutive hop fields together (SCION's beta_i+1 = beta_i XOR mac_i).
+func UpdateBeta(beta uint16, mac [HopMACLen]byte) uint16 {
+	return beta ^ binary.BigEndian.Uint16(mac[:2])
+}

@@ -1,0 +1,105 @@
+package segment
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/cppki"
+)
+
+// signPayload returns the canonical bytes signed by entry i: the segment
+// metadata plus all entries up to and including i, signatures stripped.
+// Signing the prefix (rather than just the own entry) binds each entry to
+// its position, so a malicious AS cannot splice signed entries from other
+// beacons.
+func (s *Segment) signPayload(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.ASEntries) {
+		return nil, fmt.Errorf("%w: sign index %d", ErrBadEntry, i)
+	}
+	type entryNoSig struct {
+		ASEntry
+		Signature *cppki.SignedMessage `json:"signature,omitempty"`
+	}
+	prefix := struct {
+		Timestamp uint32       `json:"timestamp"`
+		Beta0     uint16       `json:"beta0"`
+		Entries   []entryNoSig `json:"entries"`
+	}{Timestamp: s.Timestamp, Beta0: s.Beta0}
+	for j := 0; j <= i; j++ {
+		e := entryNoSig{ASEntry: s.ASEntries[j]}
+		e.ASEntry.Signature = nil
+		e.Signature = nil
+		prefix.Entries = append(prefix.Entries, e)
+	}
+	return json.Marshal(&prefix)
+}
+
+// SignLast signs the most recently appended entry. Beaconing calls this
+// right after Originate/Extend when running with the control-plane PKI
+// enabled.
+func (s *Segment) SignLast(signer *cppki.Signer) error {
+	i := len(s.ASEntries) - 1
+	if i < 0 {
+		return ErrEmpty
+	}
+	if s.ASEntries[i].IA != signer.IA {
+		return fmt.Errorf("%w: signer %v for entry of %v", ErrBadEntry, signer.IA, s.ASEntries[i].IA)
+	}
+	payload, err := s.signPayload(i)
+	if err != nil {
+		return err
+	}
+	msg, err := signer.Sign(payload)
+	if err != nil {
+		return err
+	}
+	s.ASEntries[i].Signature = msg
+	return nil
+}
+
+// VerifySignatures checks every entry's signature against the signing
+// AS's certificate chain and the ISD TRC. Unsigned entries fail with
+// ErrNotSigned.
+func (s *Segment) VerifySignatures(trcs *cppki.Store, at time.Time) error {
+	if len(s.ASEntries) == 0 {
+		return ErrEmpty
+	}
+	for i := range s.ASEntries {
+		e := &s.ASEntries[i]
+		if e.Signature == nil {
+			return fmt.Errorf("%w: entry %d (%v)", ErrNotSigned, i, e.IA)
+		}
+		trc, ok := trcs.Get(e.IA.ISD())
+		if !ok {
+			return fmt.Errorf("%w: no TRC for ISD %d", ErrBadSig, e.IA.ISD())
+		}
+		want, err := s.signPayload(i)
+		if err != nil {
+			return err
+		}
+		payload, signerIA, err := e.Signature.Verify(trc, e.IA, at)
+		if err != nil {
+			return fmt.Errorf("%w: entry %d (%v): %v", ErrBadSig, i, e.IA, err)
+		}
+		if signerIA != e.IA {
+			return fmt.Errorf("%w: entry %d signed by %v", ErrBadSig, i, signerIA)
+		}
+		if string(payload) != string(want) {
+			return fmt.Errorf("%w: entry %d payload mismatch", ErrBadSig, i)
+		}
+	}
+	return nil
+}
+
+// SignerIAs lists the ASes that signed the segment, in order.
+func (s *Segment) SignerIAs() []addr.IA {
+	out := make([]addr.IA, 0, len(s.ASEntries))
+	for _, e := range s.ASEntries {
+		if e.Signature != nil {
+			out = append(out, e.IA)
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// LatencyFunc decides delivery for a datagram: the one-way delay and
+// whether to deliver at all (false models loss or a severed link).
+// It runs inside the simulator's lock; implementations must not call
+// back into the Sim (the current virtual time is passed in).
+type LatencyFunc func(from, to netip.AddrPort, size int, now time.Time) (time.Duration, bool)
+
+// Sim is a single-threaded discrete-event network. All handlers and
+// timers run inside Run/RunFor on the caller's goroutine, making
+// campaigns fully deterministic. Sim implements Network.
+type Sim struct {
+	// Latency decides per-datagram delay and delivery; nil delivers
+	// everything instantly.
+	Latency LatencyFunc
+
+	mu       sync.Mutex
+	now      time.Time
+	events   eventQueue
+	seq      uint64
+	handlers map[netip.AddrPort]Handler
+	nextHost uint32
+	nextPort map[netip.Addr]uint16
+	delivered,
+	dropped uint64
+}
+
+// NewSim creates a simulator starting at the given time.
+func NewSim(start time.Time) *Sim {
+	return &Sim{
+		now:      start,
+		handlers: make(map[netip.AddrPort]Handler),
+		nextHost: 1,
+		nextPort: make(map[netip.Addr]uint16),
+	}
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+	idx int
+	// cancelled timers stay in the queue but do nothing.
+	cancelled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx, q[j].idx = i, j }
+func (q *eventQueue) Push(x interface{}) { e := x.(*event); e.idx = len(*q); *q = append(*q, e) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Errors.
+var (
+	ErrAddrInUse = errors.New("simnet: address in use")
+	ErrClosed    = errors.New("simnet: conn closed")
+)
+
+// BroadcastAddr is the simulator's broadcast address: datagrams sent to
+// it reach every listener bound to the destination port (the simulator
+// models one broadcast domain, i.e. one LAN — matching the scope of the
+// DHCP and mDNS bootstrapping mechanisms).
+var BroadcastAddr = netip.AddrFrom4([4]byte{10, 255, 255, 255})
+
+// AllocAddr returns a fresh unique simulated host address (10.x.y.z).
+func (s *Sim) AllocAddr() netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocAddrLocked()
+}
+
+func (s *Sim) allocAddrLocked() netip.Addr {
+	h := s.nextHost
+	s.nextHost++
+	return netip.AddrFrom4([4]byte{10, byte(h >> 16), byte(h >> 8), byte(h)})
+}
+
+// Listen implements Network.
+func (s *Sim) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := preferred
+	if !a.Addr().IsValid() {
+		// Fresh host address; an explicit port in `preferred` is kept
+		// (e.g. binding a well-known service port on a new host).
+		a = netip.AddrPortFrom(s.allocAddrLocked(), preferred.Port())
+	}
+	if a.Port() == 0 {
+		p := s.nextPort[a.Addr()]
+		if p < 30000 {
+			p = 30000
+		}
+		for {
+			p++
+			if _, used := s.handlers[netip.AddrPortFrom(a.Addr(), p)]; !used {
+				break
+			}
+		}
+		s.nextPort[a.Addr()] = p
+		a = netip.AddrPortFrom(a.Addr(), p)
+	}
+	if _, used := s.handlers[a]; used {
+		return nil, fmt.Errorf("%w: %v", ErrAddrInUse, a)
+	}
+	s.handlers[a] = h
+	return &simConn{sim: s, addr: a}, nil
+}
+
+// Now implements Network.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Network.
+func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.scheduleLocked(s.now.Add(d), f)
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e.cancelled = true
+	}
+}
+
+func (s *Sim) scheduleLocked(at time.Time, f func()) *event {
+	e := &event{at: at, seq: s.seq, fn: f}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+type simConn struct {
+	sim    *Sim
+	addr   netip.AddrPort
+	closed bool
+	mu     sync.Mutex
+}
+
+func (c *simConn) LocalAddr() netip.AddrPort { return c.addr }
+
+func (c *simConn) Send(pkt []byte, to netip.AddrPort) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+
+	s := c.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := c.addr
+
+	if to.Addr() == BroadcastAddr {
+		// Fan out to every listener on the port except the sender.
+		for dest := range s.handlers {
+			if dest.Port() != to.Port() || dest == from {
+				continue
+			}
+			s.deliverLocked(pkt, from, dest)
+		}
+		return nil
+	}
+	s.deliverLocked(pkt, from, to)
+	return nil
+}
+
+// deliverLocked schedules delivery of one datagram; the caller holds
+// s.mu.
+func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
+	delay := time.Duration(0)
+	deliver := true
+	if s.Latency != nil {
+		delay, deliver = s.Latency(from, to, len(pkt), s.now)
+	}
+	if !deliver {
+		s.dropped++
+		return // datagram semantics: loss is silent
+	}
+	s.scheduleLocked(s.now.Add(delay), func() {
+		s.mu.Lock()
+		h := s.handlers[to]
+		s.mu.Unlock()
+		if h != nil {
+			s.mu.Lock()
+			s.delivered++
+			s.mu.Unlock()
+			h(pkt, from)
+		}
+	})
+}
+
+func (c *simConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	c.sim.mu.Lock()
+	delete(c.sim.handlers, c.addr)
+	c.sim.mu.Unlock()
+	return nil
+}
+
+// Step executes the next pending event, returning false when idle.
+func (s *Sim) Step() bool {
+	for {
+		s.mu.Lock()
+		if s.events.Len() == 0 {
+			s.mu.Unlock()
+			return false
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled {
+			s.mu.Unlock()
+			continue
+		}
+		s.now = e.at
+		s.mu.Unlock()
+		e.fn()
+		return true
+	}
+}
+
+// Run drains all events (use with care: periodic timers run forever;
+// prefer RunUntil).
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and advances the
+// clock to the deadline.
+func (s *Sim) RunUntil(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		if s.events.Len() == 0 || s.events[0].at.After(deadline) {
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.Step()
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
+
+// RunLive processes events as they appear until stop is closed,
+// sleeping briefly when idle. It lets goroutines use blocking
+// request/response APIs over the simulator: virtual time jumps to each
+// event's timestamp as it executes. Campaigns that need strict
+// determinism should use Run/RunUntil from a single goroutine instead.
+func (s *Sim) RunLive(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !s.Step() {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// Stats reports delivered and dropped datagram counts.
+func (s *Sim) Stats() (delivered, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered, s.dropped
+}

@@ -1,0 +1,47 @@
+// Package simnet provides the two interchangeable transports the SCIERA
+// reproduction runs on:
+//
+//   - Sim, a deterministic discrete-event simulator with a virtual clock,
+//     used for the 20-day measurement campaigns and failure sweeps where
+//     wall-clock execution is impossible; and
+//   - UDPNet, real UDP sockets on the loopback interface, giving the
+//     protocol stack an authentic IP-UDP "layer 2.5" underlay for the
+//     examples and integration tests.
+//
+// Every component above this package (routers, control services,
+// daemons, bootstrappers, applications) is written against the Network
+// interface and runs unmodified on either transport.
+package simnet
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Handler processes one received datagram. Handlers must not block: on
+// the simulator they run inside the event loop; on UDPNet they run on
+// the socket's read goroutine.
+type Handler func(pkt []byte, from netip.AddrPort)
+
+// Conn is an attachment point able to send datagrams.
+type Conn interface {
+	// LocalAddr returns the bound address.
+	LocalAddr() netip.AddrPort
+	// Send transmits a datagram. The buffer is owned by the transport
+	// after the call.
+	Send(pkt []byte, to netip.AddrPort) error
+	// Close detaches the conn; the handler will not be invoked again.
+	Close() error
+}
+
+// Network abstracts a datagram transport plus its clock.
+type Network interface {
+	// Listen attaches a handler at the preferred address. A zero port
+	// requests automatic assignment; the simulator additionally accepts
+	// a zero AddrPort and allocates a fresh address.
+	Listen(preferred netip.AddrPort, h Handler) (Conn, error)
+	// Now returns the transport's notion of current time.
+	Now() time.Time
+	// AfterFunc schedules f after d; the returned function cancels.
+	AfterFunc(d time.Duration, f func()) (cancel func())
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// UDPNet implements Network over real UDP sockets on the loopback
+// interface — the authentic IP-UDP "layer 2.5" underlay. Packets really
+// cross the kernel's network stack, so firewalls, ports and datagram
+// semantics behave as in a deployment.
+type UDPNet struct {
+	mu    sync.Mutex
+	conns []*udpConn
+}
+
+// NewUDPNet creates a loopback transport.
+func NewUDPNet() *UDPNet { return &UDPNet{} }
+
+// Listen implements Network. A preferred address with a zero port (or a
+// zero AddrPort) binds an ephemeral loopback port.
+func (n *UDPNet) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
+	la := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: int(preferred.Port())}
+	if preferred.Addr().IsValid() {
+		la.IP = preferred.Addr().AsSlice()
+	}
+	uc, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	c := &udpConn{uc: uc, done: make(chan struct{})}
+	n.mu.Lock()
+	n.conns = append(n.conns, c)
+	n.mu.Unlock()
+	go c.readLoop(h)
+	return c, nil
+}
+
+// Now implements Network.
+func (n *UDPNet) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Network.
+func (n *UDPNet) AfterFunc(d time.Duration, f func()) func() {
+	t := time.AfterFunc(d, f)
+	return func() { t.Stop() }
+}
+
+// Close shuts down every conn created through this transport.
+func (n *UDPNet) Close() error {
+	n.mu.Lock()
+	conns := append([]*udpConn(nil), n.conns...)
+	n.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+type udpConn struct {
+	uc     *net.UDPConn
+	done   chan struct{}
+	closed sync.Once
+}
+
+func (c *udpConn) LocalAddr() netip.AddrPort {
+	return c.uc.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+func (c *udpConn) Send(pkt []byte, to netip.AddrPort) error {
+	_, err := c.uc.WriteToUDPAddrPort(pkt, to)
+	return err
+}
+
+func (c *udpConn) Close() error {
+	c.closed.Do(func() {
+		close(c.done)
+		_ = c.uc.Close()
+	})
+	return nil
+}
+
+func (c *udpConn) readLoop(h Handler) {
+	buf := make([]byte, 65535)
+	for {
+		n, from, err := c.uc.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+				// Transient error (e.g. ICMP port unreachable bounce);
+				// keep serving.
+				continue
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		h(pkt, from)
+	}
+}

@@ -1,0 +1,295 @@
+// Package slayers implements the SCION wire format in the style of
+// gopacket's layers: every message on the (simulated or loopback) network
+// is a fully serialized SCION packet, decoded into preallocated layer
+// structs so the hot path allocates nothing.
+//
+// A SCION packet is:
+//
+//	common+address header (56 B) | path header (variable) | L4 (UDP or SCMP) | payload
+//
+// The common header layout:
+//
+//	 0      Version        (1 B, currently 1)
+//	 1      TrafficClass   (1 B)
+//	 2      NextHdr        (1 B; 17 = UDP, 202 = SCMP)
+//	 3      PathType       (1 B; 0 = empty, 1 = SCION)
+//	 4-5    TotalLen       (2 B, entire packet)
+//	 6-7    HdrLen         (2 B, common+address+path)
+//	 8-15   DstIA          (8 B)
+//	16-23   SrcIA          (8 B)
+//	24-39   DstHost        (16 B, IPv6 or IPv4-mapped)
+//	40-55   SrcHost        (16 B)
+package slayers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"sciera/internal/addr"
+	"sciera/internal/spath"
+)
+
+// Protocol numbers for the NextHdr field.
+const (
+	ProtoUDP  = 17
+	ProtoSCMP = 202
+)
+
+// Path types.
+const (
+	PathTypeEmpty = 0
+	PathTypeSCION = 1
+)
+
+// Version is the SCION header version this package implements.
+const Version = 1
+
+// CmnHdrLen is the length of the common+address header.
+const CmnHdrLen = 56
+
+// MaxPacketLen bounds packet sizes (fits the 16-bit TotalLen field).
+const MaxPacketLen = 1<<16 - 1
+
+// Decode errors.
+var (
+	ErrTruncated      = errors.New("slayers: truncated packet")
+	ErrBadVersion     = errors.New("slayers: unsupported version")
+	ErrBadLength      = errors.New("slayers: length fields inconsistent")
+	ErrUnknownProto   = errors.New("slayers: unknown L4 protocol")
+	ErrUnknownPath    = errors.New("slayers: unknown path type")
+	ErrPacketTooLarge = errors.New("slayers: packet exceeds maximum length")
+)
+
+// SCION is the decoded common+address+path header.
+type SCION struct {
+	TrafficClass uint8
+	NextHdr      uint8
+	DstIA, SrcIA addr.IA
+	DstHost      netip.Addr
+	SrcHost      netip.Addr
+	Path         spath.Path
+}
+
+// hdrLen returns the serialized header length (common + path).
+func (s *SCION) hdrLen() int { return CmnHdrLen + s.Path.Len() }
+
+func (s *SCION) serializeTo(b []byte, totalLen int) error {
+	hl := s.hdrLen()
+	if len(b) < hl {
+		return ErrTruncated
+	}
+	if totalLen > MaxPacketLen {
+		return ErrPacketTooLarge
+	}
+	b[0] = Version
+	b[1] = s.TrafficClass
+	b[2] = s.NextHdr
+	if s.Path.IsEmpty() {
+		b[3] = PathTypeEmpty
+	} else {
+		b[3] = PathTypeSCION
+	}
+	binary.BigEndian.PutUint16(b[4:6], uint16(totalLen))
+	binary.BigEndian.PutUint16(b[6:8], uint16(hl))
+	addr.PutIA(b[8:16], s.DstIA)
+	addr.PutIA(b[16:24], s.SrcIA)
+	d16 := as16(s.DstHost)
+	s16 := as16(s.SrcHost)
+	copy(b[24:40], d16[:])
+	copy(b[40:56], s16[:])
+	return s.Path.SerializeTo(b[CmnHdrLen:hl])
+}
+
+// decodeFrom parses the header and returns (headerLen, totalLen).
+func (s *SCION) decodeFrom(b []byte) (int, int, error) {
+	if len(b) < CmnHdrLen {
+		return 0, 0, ErrTruncated
+	}
+	if b[0] != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	s.TrafficClass = b[1]
+	s.NextHdr = b[2]
+	pathType := b[3]
+	totalLen := int(binary.BigEndian.Uint16(b[4:6]))
+	hdrLen := int(binary.BigEndian.Uint16(b[6:8]))
+	if hdrLen < CmnHdrLen || hdrLen > totalLen || totalLen != len(b) {
+		return 0, 0, fmt.Errorf("%w: hdr=%d total=%d buf=%d", ErrBadLength, hdrLen, totalLen, len(b))
+	}
+	s.DstIA = addr.GetIA(b[8:16])
+	s.SrcIA = addr.GetIA(b[16:24])
+	s.DstHost = fromAs16(b[24:40])
+	s.SrcHost = fromAs16(b[40:56])
+	switch pathType {
+	case PathTypeEmpty:
+		if hdrLen != CmnHdrLen {
+			return 0, 0, fmt.Errorf("%w: empty path with %d path bytes", ErrBadLength, hdrLen-CmnHdrLen)
+		}
+		if err := s.Path.DecodeFromBytes(nil); err != nil {
+			return 0, 0, err
+		}
+	case PathTypeSCION:
+		if err := s.Path.DecodeFromBytes(b[CmnHdrLen:hdrLen]); err != nil {
+			return 0, 0, err
+		}
+	default:
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownPath, pathType)
+	}
+	return hdrLen, totalLen, nil
+}
+
+// as16 returns the 16-byte representation of an address (IPv4 becomes
+// IPv4-mapped IPv6). The zero Addr maps to all zeroes.
+func as16(a netip.Addr) [16]byte {
+	if !a.IsValid() {
+		return [16]byte{}
+	}
+	return a.As16()
+}
+
+func fromAs16(b []byte) netip.Addr {
+	var a16 [16]byte
+	copy(a16[:], b)
+	a := netip.AddrFrom16(a16)
+	if a == netip.AddrFrom16([16]byte{}) {
+		return netip.Addr{}
+	}
+	return a.Unmap()
+}
+
+// UDP is the SCION/UDP L4 header (8 bytes + payload).
+type UDP struct {
+	SrcPort, DstPort uint16
+}
+
+const udpHdrLen = 8
+
+// Packet is a complete SCION packet: header, one L4, and payload.
+// Exactly one of UDP/SCMP must be non-nil, matching Hdr.NextHdr.
+type Packet struct {
+	Hdr     SCION
+	UDP     *UDP
+	SCMP    *SCMP
+	Payload []byte
+
+	// scratch reuses the SCMP struct across decodes.
+	scmpScratch SCMP
+	udpScratch  UDP
+}
+
+// Serialize renders the packet, appending to dst (which may be nil).
+func (p *Packet) Serialize(dst []byte) ([]byte, error) {
+	var l4Len int
+	switch {
+	case p.UDP != nil && p.SCMP == nil:
+		p.Hdr.NextHdr = ProtoUDP
+		l4Len = udpHdrLen + len(p.Payload)
+	case p.SCMP != nil && p.UDP == nil:
+		p.Hdr.NextHdr = ProtoSCMP
+		l4Len = p.SCMP.len() + len(p.Payload)
+	default:
+		return nil, errors.New("slayers: exactly one of UDP/SCMP must be set")
+	}
+	hl := p.Hdr.hdrLen()
+	total := hl + l4Len
+	if total > MaxPacketLen {
+		return nil, ErrPacketTooLarge
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	if err := p.Hdr.serializeTo(b, total); err != nil {
+		return nil, err
+	}
+	l4 := b[hl:]
+	if p.UDP != nil {
+		binary.BigEndian.PutUint16(l4[0:2], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(l4Len))
+		copy(l4[udpHdrLen:], p.Payload)
+		binary.BigEndian.PutUint16(l4[6:8], 0)
+		binary.BigEndian.PutUint16(l4[6:8], checksum(pseudoHeader(&p.Hdr, ProtoUDP, l4Len), l4))
+	} else {
+		p.SCMP.serializeTo(l4)
+		copy(l4[p.SCMP.len():], p.Payload)
+		binary.BigEndian.PutUint16(l4[2:4], 0)
+		binary.BigEndian.PutUint16(l4[2:4], checksum(pseudoHeader(&p.Hdr, ProtoSCMP, l4Len), l4))
+	}
+	return dst, nil
+}
+
+// Decode parses a full packet. The payload slice aliases b (NoCopy-style);
+// callers that retain the payload beyond the lifetime of b must copy it.
+func (p *Packet) Decode(b []byte) error {
+	hl, total, err := p.Hdr.decodeFrom(b)
+	if err != nil {
+		return err
+	}
+	l4 := b[hl:total]
+	p.UDP, p.SCMP = nil, nil
+	switch p.Hdr.NextHdr {
+	case ProtoUDP:
+		if len(l4) < udpHdrLen {
+			return ErrTruncated
+		}
+		if got := checksum(pseudoHeader(&p.Hdr, ProtoUDP, len(l4)), l4); got != 0 {
+			return fmt.Errorf("slayers: UDP checksum mismatch (%#04x)", got)
+		}
+		p.udpScratch.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		p.udpScratch.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		if int(binary.BigEndian.Uint16(l4[4:6])) != len(l4) {
+			return fmt.Errorf("%w: UDP length", ErrBadLength)
+		}
+		p.UDP = &p.udpScratch
+		p.Payload = l4[udpHdrLen:]
+	case ProtoSCMP:
+		if got := checksum(pseudoHeader(&p.Hdr, ProtoSCMP, len(l4)), l4); got != 0 {
+			return fmt.Errorf("slayers: SCMP checksum mismatch (%#04x)", got)
+		}
+		n, err := p.scmpScratch.decodeFrom(l4)
+		if err != nil {
+			return err
+		}
+		p.SCMP = &p.scmpScratch
+		p.Payload = l4[n:]
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownProto, p.Hdr.NextHdr)
+	}
+	return nil
+}
+
+// pseudoHeader builds the checksum pseudo-header binding L4 data to the
+// SCION addresses, preventing redirection of checksummed payloads.
+func pseudoHeader(h *SCION, proto uint8, l4Len int) [52]byte {
+	var ph [52]byte
+	addr.PutIA(ph[0:8], h.SrcIA)
+	addr.PutIA(ph[8:16], h.DstIA)
+	s16 := as16(h.SrcHost)
+	d16 := as16(h.DstHost)
+	copy(ph[16:32], s16[:])
+	copy(ph[32:48], d16[:])
+	binary.BigEndian.PutUint16(ph[48:50], uint16(l4Len))
+	ph[51] = proto
+	return ph
+}
+
+// checksum computes the Internet ones-complement checksum over the
+// pseudo-header and the L4 bytes.
+func checksum(ph [52]byte, l4 []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(ph); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ph[i : i+2]))
+	}
+	for i := 0; i+1 < len(l4); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(l4[i : i+2]))
+	}
+	if len(l4)%2 == 1 {
+		sum += uint32(l4[len(l4)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

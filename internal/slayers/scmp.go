@@ -1,0 +1,173 @@
+package slayers
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sciera/internal/addr"
+)
+
+// SCMPType enumerates SCION Control Message Protocol message types,
+// mirroring ICMPv6's split between error (< 128) and informational
+// (>= 128) messages.
+type SCMPType uint8
+
+const (
+	SCMPDestinationUnreachable   SCMPType = 1
+	SCMPPacketTooBig             SCMPType = 2
+	SCMPParameterProblem         SCMPType = 4
+	SCMPExternalInterfaceDown    SCMPType = 5
+	SCMPInternalConnectivityDown SCMPType = 6
+	SCMPEchoRequest              SCMPType = 128
+	SCMPEchoReply                SCMPType = 129
+	SCMPTracerouteRequest        SCMPType = 130
+	SCMPTracerouteReply          SCMPType = 131
+)
+
+func (t SCMPType) String() string {
+	switch t {
+	case SCMPDestinationUnreachable:
+		return "DestinationUnreachable"
+	case SCMPPacketTooBig:
+		return "PacketTooBig"
+	case SCMPParameterProblem:
+		return "ParameterProblem"
+	case SCMPExternalInterfaceDown:
+		return "ExternalInterfaceDown"
+	case SCMPInternalConnectivityDown:
+		return "InternalConnectivityDown"
+	case SCMPEchoRequest:
+		return "EchoRequest"
+	case SCMPEchoReply:
+		return "EchoReply"
+	case SCMPTracerouteRequest:
+		return "TracerouteRequest"
+	case SCMPTracerouteReply:
+		return "TracerouteReply"
+	default:
+		return fmt.Sprintf("SCMPType(%d)", uint8(t))
+	}
+}
+
+// IsError reports whether the type is an error message. Error messages
+// must never be answered with further SCMP errors.
+func (t SCMPType) IsError() bool { return t < 128 }
+
+// SCMP destination-unreachable codes.
+const (
+	CodeNoRoute     = 0
+	CodeDenied      = 1
+	CodeBeyondScope = 2
+	CodeAddrUnreach = 3
+	CodePortUnreach = 4
+)
+
+// SCMP is a decoded SCMP message. The meaning of the optional fields
+// depends on Type:
+//
+//	EchoRequest/Reply:          Identifier, SeqNo
+//	TracerouteRequest/Reply:    Identifier, SeqNo, IA, IfID
+//	ExternalInterfaceDown:      IA, IfID
+//	InternalConnectivityDown:   IA, Ingress, Egress
+//	ParameterProblem:           Pointer
+//
+// Error messages quote the offending packet in the enclosing Packet's
+// Payload.
+type SCMP struct {
+	Type SCMPType
+	Code uint8
+
+	Identifier uint16
+	SeqNo      uint16
+	IA         addr.IA
+	IfID       uint64
+	Ingress    uint64
+	Egress     uint64
+	Pointer    uint16
+}
+
+const scmpCmnLen = 4 // Type, Code, Checksum
+
+// len returns the serialized SCMP header length (excluding any quoted
+// packet / echo payload, which lives in Packet.Payload).
+func (s *SCMP) len() int {
+	switch s.Type {
+	case SCMPEchoRequest, SCMPEchoReply:
+		return scmpCmnLen + 4
+	case SCMPTracerouteRequest, SCMPTracerouteReply:
+		return scmpCmnLen + 4 + 16
+	case SCMPExternalInterfaceDown:
+		return scmpCmnLen + 16
+	case SCMPInternalConnectivityDown:
+		return scmpCmnLen + 24
+	case SCMPParameterProblem:
+		return scmpCmnLen + 4
+	default:
+		return scmpCmnLen + 4 // unused 4-byte field, e.g. DestinationUnreachable
+	}
+}
+
+func (s *SCMP) serializeTo(b []byte) {
+	b[0] = uint8(s.Type)
+	b[1] = s.Code
+	b[2], b[3] = 0, 0 // checksum filled by caller
+	body := b[scmpCmnLen:]
+	switch s.Type {
+	case SCMPEchoRequest, SCMPEchoReply:
+		binary.BigEndian.PutUint16(body[0:2], s.Identifier)
+		binary.BigEndian.PutUint16(body[2:4], s.SeqNo)
+	case SCMPTracerouteRequest, SCMPTracerouteReply:
+		binary.BigEndian.PutUint16(body[0:2], s.Identifier)
+		binary.BigEndian.PutUint16(body[2:4], s.SeqNo)
+		addr.PutIA(body[4:12], s.IA)
+		binary.BigEndian.PutUint64(body[12:20], s.IfID)
+	case SCMPExternalInterfaceDown:
+		addr.PutIA(body[0:8], s.IA)
+		binary.BigEndian.PutUint64(body[8:16], s.IfID)
+	case SCMPInternalConnectivityDown:
+		addr.PutIA(body[0:8], s.IA)
+		binary.BigEndian.PutUint64(body[8:16], s.Ingress)
+		binary.BigEndian.PutUint64(body[16:24], s.Egress)
+	case SCMPParameterProblem:
+		binary.BigEndian.PutUint16(body[0:2], s.Pointer)
+		binary.BigEndian.PutUint16(body[2:4], 0)
+	default:
+		binary.BigEndian.PutUint32(body[0:4], 0)
+	}
+}
+
+func (s *SCMP) decodeFrom(b []byte) (int, error) {
+	if len(b) < scmpCmnLen {
+		return 0, ErrTruncated
+	}
+	s.Type = SCMPType(b[0])
+	s.Code = b[1]
+	n := s.len()
+	if len(b) < n {
+		return 0, ErrTruncated
+	}
+	// Zero the optional fields so stale values from a previous decode
+	// never leak through.
+	s.Identifier, s.SeqNo, s.IA, s.IfID, s.Ingress, s.Egress, s.Pointer = 0, 0, 0, 0, 0, 0, 0
+	body := b[scmpCmnLen:]
+	switch s.Type {
+	case SCMPEchoRequest, SCMPEchoReply:
+		s.Identifier = binary.BigEndian.Uint16(body[0:2])
+		s.SeqNo = binary.BigEndian.Uint16(body[2:4])
+	case SCMPTracerouteRequest, SCMPTracerouteReply:
+		s.Identifier = binary.BigEndian.Uint16(body[0:2])
+		s.SeqNo = binary.BigEndian.Uint16(body[2:4])
+		s.IA = addr.GetIA(body[4:12])
+		s.IfID = binary.BigEndian.Uint64(body[12:20])
+	case SCMPExternalInterfaceDown:
+		s.IA = addr.GetIA(body[0:8])
+		s.IfID = binary.BigEndian.Uint64(body[8:16])
+	case SCMPInternalConnectivityDown:
+		s.IA = addr.GetIA(body[0:8])
+		s.Ingress = binary.BigEndian.Uint64(body[8:16])
+		s.Egress = binary.BigEndian.Uint64(body[16:24])
+	case SCMPParameterProblem:
+		s.Pointer = binary.BigEndian.Uint16(body[0:2])
+	}
+	return n, nil
+}

@@ -1,0 +1,361 @@
+package slayers
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"sciera/internal/addr"
+	"sciera/internal/spath"
+)
+
+func testPath() spath.Path {
+	return spath.Path{
+		SegLens: [3]uint8{2, 0, 0},
+		Infos:   []spath.InfoField{{ConsDir: true, SegID: 7, Timestamp: 9}},
+		Hops: []spath.HopField{
+			{ExpTime: 63, ConsIngress: 0, ConsEgress: 1, MAC: [6]byte{1, 1, 1, 1, 1, 1}},
+			{ExpTime: 63, ConsIngress: 2, ConsEgress: 0, MAC: [6]byte{2, 2, 2, 2, 2, 2}},
+		},
+	}
+}
+
+func udpPacket() *Packet {
+	return &Packet{
+		Hdr: SCION{
+			TrafficClass: 0x20,
+			DstIA:        addr.MustParseIA("71-2:0:3b"),
+			SrcIA:        addr.MustParseIA("71-559"),
+			DstHost:      netip.MustParseAddr("10.0.0.2"),
+			SrcHost:      netip.MustParseAddr("10.0.0.1"),
+			Path:         testPath(),
+		},
+		UDP:     &UDP{SrcPort: 31000, DstPort: 443},
+		Payload: []byte("hello sciera"),
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := udpPacket()
+	raw, err := p.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if q.Hdr.SrcIA != p.Hdr.SrcIA || q.Hdr.DstIA != p.Hdr.DstIA {
+		t.Errorf("IAs: %v->%v", q.Hdr.SrcIA, q.Hdr.DstIA)
+	}
+	if q.Hdr.SrcHost != p.Hdr.SrcHost || q.Hdr.DstHost != p.Hdr.DstHost {
+		t.Errorf("hosts: %v -> %v", q.Hdr.SrcHost, q.Hdr.DstHost)
+	}
+	if q.Hdr.TrafficClass != 0x20 {
+		t.Errorf("traffic class = %#x", q.Hdr.TrafficClass)
+	}
+	if q.UDP == nil || q.SCMP != nil {
+		t.Fatal("expected UDP L4")
+	}
+	if q.UDP.SrcPort != 31000 || q.UDP.DstPort != 443 {
+		t.Errorf("ports = %d->%d", q.UDP.SrcPort, q.UDP.DstPort)
+	}
+	if string(q.Payload) != "hello sciera" {
+		t.Errorf("payload = %q", q.Payload)
+	}
+	if len(q.Hdr.Path.Hops) != 2 || q.Hdr.Path.Hops[1].ConsIngress != 2 {
+		t.Errorf("path = %+v", q.Hdr.Path)
+	}
+}
+
+func TestEmptyPathPacket(t *testing.T) {
+	p := udpPacket()
+	p.Hdr.Path = spath.Path{}
+	raw, err := p.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[3] != PathTypeEmpty {
+		t.Errorf("path type = %d", raw[3])
+	}
+	var q Packet
+	if err := q.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Hdr.Path.IsEmpty() {
+		t.Error("expected empty path")
+	}
+}
+
+func TestSCMPEchoRoundTrip(t *testing.T) {
+	p := &Packet{
+		Hdr: SCION{
+			DstIA:   addr.MustParseIA("71-2:0:3d"),
+			SrcIA:   addr.MustParseIA("71-2:0:3b"),
+			DstHost: netip.MustParseAddr("::1"),
+			SrcHost: netip.MustParseAddr("fd00::2"),
+			Path:    testPath(),
+		},
+		SCMP:    &SCMP{Type: SCMPEchoRequest, Identifier: 99, SeqNo: 1234},
+		Payload: []byte("probe-data"),
+	}
+	raw, err := p.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if q.SCMP == nil || q.UDP != nil {
+		t.Fatal("expected SCMP L4")
+	}
+	if q.SCMP.Type != SCMPEchoRequest || q.SCMP.Identifier != 99 || q.SCMP.SeqNo != 1234 {
+		t.Errorf("scmp = %+v", q.SCMP)
+	}
+	if string(q.Payload) != "probe-data" {
+		t.Errorf("payload = %q", q.Payload)
+	}
+	if q.Hdr.SrcHost != netip.MustParseAddr("fd00::2") {
+		t.Errorf("v6 host = %v", q.Hdr.SrcHost)
+	}
+}
+
+func TestSCMPVariants(t *testing.T) {
+	ia := addr.MustParseIA("71-20965")
+	cases := []*SCMP{
+		{Type: SCMPDestinationUnreachable, Code: CodePortUnreach},
+		{Type: SCMPExternalInterfaceDown, IA: ia, IfID: 42},
+		{Type: SCMPInternalConnectivityDown, IA: ia, Ingress: 1, Egress: 2},
+		{Type: SCMPParameterProblem, Pointer: 12},
+		{Type: SCMPTracerouteRequest, Identifier: 1, SeqNo: 2, IA: ia, IfID: 7},
+		{Type: SCMPTracerouteReply, Identifier: 1, SeqNo: 2, IA: ia, IfID: 7},
+	}
+	for _, sc := range cases {
+		p := &Packet{
+			Hdr: SCION{
+				DstIA:   addr.MustParseIA("71-1"),
+				SrcIA:   ia,
+				DstHost: netip.MustParseAddr("10.0.0.1"),
+				SrcHost: netip.MustParseAddr("10.0.0.2"),
+			},
+			SCMP:    sc,
+			Payload: []byte("quoted-packet-bytes"),
+		}
+		raw, err := p.Serialize(nil)
+		if err != nil {
+			t.Fatalf("%v: %v", sc.Type, err)
+		}
+		var q Packet
+		if err := q.Decode(raw); err != nil {
+			t.Fatalf("%v: %v", sc.Type, err)
+		}
+		if q.SCMP.Type != sc.Type || q.SCMP.Code != sc.Code ||
+			q.SCMP.IA != sc.IA || q.SCMP.IfID != sc.IfID ||
+			q.SCMP.Ingress != sc.Ingress || q.SCMP.Egress != sc.Egress ||
+			q.SCMP.Identifier != sc.Identifier || q.SCMP.SeqNo != sc.SeqNo ||
+			q.SCMP.Pointer != sc.Pointer {
+			t.Errorf("%v: round trip mismatch: %+v vs %+v", sc.Type, q.SCMP, sc)
+		}
+		if string(q.Payload) != "quoted-packet-bytes" {
+			t.Errorf("%v: payload %q", sc.Type, q.Payload)
+		}
+	}
+}
+
+func TestSCMPTypePredicates(t *testing.T) {
+	if !SCMPDestinationUnreachable.IsError() || SCMPEchoRequest.IsError() {
+		t.Error("IsError misclassifies")
+	}
+	if SCMPEchoReply.String() != "EchoReply" {
+		t.Errorf("String = %q", SCMPEchoReply.String())
+	}
+	if SCMPType(99).String() == "" {
+		t.Error("unknown type should format")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := udpPacket()
+	raw, err := p.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	// Flip one payload byte: checksum must catch it.
+	for _, idx := range []int{len(raw) - 1, len(raw) - 5, CmnHdrLen + p.Hdr.Path.Len() + 1} {
+		bad := append([]byte(nil), raw...)
+		bad[idx] ^= 0x40
+		if err := q.Decode(bad); err == nil {
+			t.Errorf("corruption at byte %d not detected", idx)
+		}
+	}
+	// Flipping an address bit breaks the pseudo-header binding.
+	bad := append([]byte(nil), raw...)
+	bad[9] ^= 1 // inside DstIA
+	if err := q.Decode(bad); err == nil {
+		t.Error("address corruption not detected via pseudo-header")
+	}
+}
+
+func TestDecodeRejectsBadHeaders(t *testing.T) {
+	p := udpPacket()
+	raw, _ := p.Serialize(nil)
+	var q Packet
+
+	short := raw[:CmnHdrLen-1]
+	if err := q.Decode(short); err == nil {
+		t.Error("short header accepted")
+	}
+
+	badVer := append([]byte(nil), raw...)
+	badVer[0] = 9
+	if err := q.Decode(badVer); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	badProto := append([]byte(nil), raw...)
+	badProto[2] = 99
+	if err := q.Decode(badProto); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+
+	badPathType := append([]byte(nil), raw...)
+	badPathType[3] = 7
+	if err := q.Decode(badPathType); err == nil {
+		t.Error("unknown path type accepted")
+	}
+
+	truncated := raw[:len(raw)-3]
+	if err := q.Decode(truncated); err == nil {
+		t.Error("total-length mismatch accepted")
+	}
+}
+
+func TestSerializeValidation(t *testing.T) {
+	p := udpPacket()
+	p.SCMP = &SCMP{Type: SCMPEchoRequest}
+	if _, err := p.Serialize(nil); err == nil {
+		t.Error("both L4 set: accepted")
+	}
+	p.UDP, p.SCMP = nil, nil
+	if _, err := p.Serialize(nil); err == nil {
+		t.Error("no L4 set: accepted")
+	}
+	q := udpPacket()
+	q.Payload = make([]byte, MaxPacketLen)
+	if _, err := q.Serialize(nil); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+func TestSerializeAppends(t *testing.T) {
+	p := udpPacket()
+	prefix := []byte{0xde, 0xad}
+	out, err := p.Serialize(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:2], prefix) {
+		t.Error("Serialize did not append to dst")
+	}
+	var q Packet
+	if err := q.Decode(out[2:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeReusesScratch(t *testing.T) {
+	// Decoding different packets into the same struct must not leak
+	// fields between decodes.
+	var q Packet
+	p1 := udpPacket()
+	p1.SCMP = nil
+	raw1, _ := p1.Serialize(nil)
+
+	p2 := &Packet{
+		Hdr:  p1.Hdr,
+		SCMP: &SCMP{Type: SCMPTracerouteRequest, Identifier: 5, IA: addr.MustParseIA("64-559"), IfID: 3},
+	}
+	p2.Hdr.Path = testPath()
+	raw2, _ := p2.Serialize(nil)
+
+	p3 := &Packet{Hdr: p2.Hdr, SCMP: &SCMP{Type: SCMPEchoRequest, Identifier: 1}}
+	p3.Hdr.Path = testPath()
+	raw3, _ := p3.Serialize(nil)
+
+	if err := q.Decode(raw1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Decode(raw2); err != nil {
+		t.Fatal(err)
+	}
+	if q.SCMP.IfID != 3 {
+		t.Errorf("IfID = %d", q.SCMP.IfID)
+	}
+	if err := q.Decode(raw3); err != nil {
+		t.Fatal(err)
+	}
+	if q.SCMP.IA != 0 || q.SCMP.IfID != 0 {
+		t.Errorf("stale SCMP fields leaked: %+v", q.SCMP)
+	}
+}
+
+func TestFuzzDecodeNoPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := udpPacket()
+	raw, _ := p.Serialize(nil)
+	var q Packet
+	for i := 0; i < 5000; i++ {
+		fz := append([]byte(nil), raw...)
+		// Random mutations.
+		for n := rng.Intn(8); n >= 0; n-- {
+			fz[rng.Intn(len(fz))] ^= byte(1 << rng.Intn(8))
+		}
+		fz = fz[:rng.Intn(len(fz)+1)]
+		_ = q.Decode(fz) // must not panic
+	}
+}
+
+func TestIPv4MappedHostsRoundTrip(t *testing.T) {
+	p := udpPacket()
+	p.Hdr.SrcHost = netip.MustParseAddr("192.0.2.1")
+	raw, _ := p.Serialize(nil)
+	var q Packet
+	if err := q.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Hdr.SrcHost.Is4() {
+		t.Errorf("expected unmapped IPv4, got %v", q.Hdr.SrcHost)
+	}
+}
+
+func BenchmarkPacketSerialize(b *testing.B) {
+	p := udpPacket()
+	p.Payload = make([]byte, 1000)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.SetBytes(1000)
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = p.Serialize(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketDecode(b *testing.B) {
+	p := udpPacket()
+	p.Payload = make([]byte, 1000)
+	raw, _ := p.Serialize(nil)
+	var q Packet
+	b.ReportAllocs()
+	b.SetBytes(1000)
+	for i := 0; i < b.N; i++ {
+		if err := q.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package spath
+
+import (
+	"sciera/internal/scrypto"
+)
+
+// HopSpec describes one AS hop of a segment under construction, in
+// construction direction (the direction the PCB travelled).
+type HopSpec struct {
+	Key         scrypto.HopKey // the AS's hop-field key
+	ConsIngress uint16         // interface the PCB entered on (0 at origin)
+	ConsEgress  uint16         // interface the PCB left on (0 at terminus)
+	ExpTime     uint8
+}
+
+// BuildSegment computes the hop fields of a segment with chained MACs.
+// It returns the hop fields in construction order and the accumulator
+// sequence beta[0..n]: beta[i] is the accumulator value a router at hop i
+// uses to verify its MAC, and beta[n] is the value a sender must place in
+// the info field when traversing the segment against construction
+// direction.
+func BuildSegment(timestamp uint32, beta0 uint16, specs []HopSpec) ([]HopField, []uint16, error) {
+	hops := make([]HopField, len(specs))
+	betas := make([]uint16, len(specs)+1)
+	betas[0] = beta0
+	for i, s := range specs {
+		mac, err := scrypto.ComputeHopMAC(s.Key, scrypto.HopMACInput{
+			Beta:        betas[i],
+			Timestamp:   timestamp,
+			ExpTime:     s.ExpTime,
+			ConsIngress: s.ConsIngress,
+			ConsEgress:  s.ConsEgress,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		hops[i] = HopField{
+			ExpTime:     s.ExpTime,
+			ConsIngress: s.ConsIngress,
+			ConsEgress:  s.ConsEgress,
+			MAC:         mac,
+		}
+		betas[i+1] = scrypto.UpdateBeta(betas[i], mac)
+	}
+	return hops, betas, nil
+}
+
+// VerifyHop performs the router-side hop verification for the segment the
+// packet currently traverses, implementing SCION's bidirectional
+// accumulator algebra:
+//
+//   - In construction direction the info field carries beta_i on arrival
+//     at hop i; the MAC is verified directly and the router advances the
+//     accumulator (SegID ^= MAC[:2]) when forwarding.
+//   - Against construction direction the info field carries beta_{i+1};
+//     the router first folds the (untrusted) packet MAC into the
+//     accumulator to recover beta_i, then verifies. Tampering with either
+//     the MAC or the accumulator makes verification fail.
+//
+// VerifyHop mutates info.SegID exactly as a border router would and
+// returns false if the MAC does not verify.
+func VerifyHop(key scrypto.HopKey, info *InfoField, hop *HopField) bool {
+	if !info.ConsDir {
+		info.SegID = scrypto.UpdateBeta(info.SegID, hop.MAC)
+	}
+	ok := scrypto.VerifyHopMAC(key, scrypto.HopMACInput{
+		Beta:        info.SegID,
+		Timestamp:   info.Timestamp,
+		ExpTime:     hop.ExpTime,
+		ConsIngress: hop.ConsIngress,
+		ConsEgress:  hop.ConsEgress,
+	}, hop.MAC)
+	if !ok {
+		return false
+	}
+	if info.ConsDir {
+		info.SegID = scrypto.UpdateBeta(info.SegID, hop.MAC)
+	}
+	return true
+}
+
+// VerifyPeerHop checks a peer-crossing hop field: unlike normal hops it
+// is verified against the accumulator as-is, without folding or
+// advancing — the peer MAC was computed over the accumulator *after*
+// the AS's own segment entry, which is exactly the value in the info
+// field when the crossing is reached (see the combinator's peer path
+// construction).
+func VerifyPeerHop(key scrypto.HopKey, info *InfoField, hop *HopField) bool {
+	return scrypto.VerifyHopMAC(key, scrypto.HopMACInput{
+		Beta:        info.SegID,
+		Timestamp:   info.Timestamp,
+		ExpTime:     hop.ExpTime,
+		ConsIngress: hop.ConsIngress,
+		ConsEgress:  hop.ConsEgress,
+	}, hop.MAC)
+}
+
+// DataIngress returns the interface the packet enters the AS on for the
+// current travel direction, and DataEgress the interface it leaves on.
+// In construction direction these match the hop field; against it they
+// swap.
+func DataIngress(info *InfoField, hop *HopField) uint16 {
+	if info.ConsDir {
+		return hop.ConsIngress
+	}
+	return hop.ConsEgress
+}
+
+// DataEgress returns the interface the packet leaves the AS on.
+func DataEgress(info *InfoField, hop *HopField) uint16 {
+	if info.ConsDir {
+		return hop.ConsEgress
+	}
+	return hop.ConsIngress
+}

@@ -1,0 +1,445 @@
+package spath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sciera/internal/scrypto"
+)
+
+func samplePath(t *testing.T) *Path {
+	t.Helper()
+	p := &Path{
+		SegLens: [3]uint8{2, 3, 0},
+		Infos: []InfoField{
+			{ConsDir: false, SegID: 0xbeef, Timestamp: 100},
+			{ConsDir: true, SegID: 0xcafe, Timestamp: 200},
+		},
+		Hops: []HopField{
+			{ExpTime: 63, ConsIngress: 0, ConsEgress: 1, MAC: [6]byte{1, 2, 3, 4, 5, 6}},
+			{ExpTime: 63, ConsIngress: 2, ConsEgress: 0, MAC: [6]byte{7, 8, 9, 10, 11, 12}},
+			{ExpTime: 63, ConsIngress: 0, ConsEgress: 3, MAC: [6]byte{13, 14, 15, 16, 17, 18}},
+			{ExpTime: 63, ConsIngress: 4, ConsEgress: 5, MAC: [6]byte{19, 20, 21, 22, 23, 24}},
+			{ExpTime: 63, ConsIngress: 6, ConsEgress: 0, MAC: [6]byte{25, 26, 27, 28, 29, 30}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("sample path invalid: %v", err)
+	}
+	return p
+}
+
+func TestPathSerializeDecodeRoundTrip(t *testing.T) {
+	p := samplePath(t)
+	buf := make([]byte, p.Len())
+	if err := p.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var q Path
+	if err := q.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("meta mismatch: %v vs %v", q.String(), p.String())
+	}
+	if len(q.Infos) != 2 || q.Infos[0].SegID != 0xbeef || !q.Infos[1].ConsDir {
+		t.Errorf("infos = %+v", q.Infos)
+	}
+	if len(q.Hops) != 5 || q.Hops[4].ConsIngress != 6 {
+		t.Errorf("hops = %+v", q.Hops)
+	}
+	if q.Hops[2].MAC != p.Hops[2].MAC {
+		t.Errorf("MAC mismatch")
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	var p Path
+	if !p.IsEmpty() || p.Len() != 0 {
+		t.Fatal("zero path should be empty")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SerializeTo(nil); err != nil {
+		t.Fatal(err)
+	}
+	var q Path
+	if err := q.DecodeFromBytes(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsEmpty() {
+		t.Fatal("decoded empty path not empty")
+	}
+	if err := q.Reverse(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]*Path{
+		"gap in seglens": {
+			SegLens: [3]uint8{2, 0, 1},
+			Infos:   []InfoField{{}, {}},
+			Hops:    make([]HopField, 3),
+		},
+		"hop count mismatch": {
+			SegLens: [3]uint8{2, 0, 0},
+			Infos:   []InfoField{{}},
+			Hops:    make([]HopField, 3),
+		},
+		"info count mismatch": {
+			SegLens: [3]uint8{2, 1, 0},
+			Infos:   []InfoField{{}},
+			Hops:    make([]HopField, 3),
+		},
+		"currHF out of range": {
+			CurrHF:  5,
+			SegLens: [3]uint8{2, 0, 0},
+			Infos:   []InfoField{{}},
+			Hops:    make([]HopField, 2),
+		},
+		"currINF inconsistent": {
+			CurrINF: 1, CurrHF: 0,
+			SegLens: [3]uint8{2, 1, 0},
+			Infos:   []InfoField{{}, {}},
+			Hops:    make([]HopField, 3),
+		},
+		"infos without hops": {
+			Infos: []InfoField{{}},
+		},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed path", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadBuffers(t *testing.T) {
+	var p Path
+	if err := p.DecodeFromBytes([]byte{1, 2}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// Valid meta claiming 1 segment, 1 hop but truncated body.
+	good := samplePath(t)
+	buf := make([]byte, good.Len())
+	if err := good.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DecodeFromBytes(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+	if err := p.DecodeFromBytes(append(buf, 0)); err == nil {
+		t.Error("oversized buffer accepted")
+	}
+}
+
+func TestIncHopCrossesSegments(t *testing.T) {
+	p := samplePath(t)
+	wantINF := []uint8{0, 0, 1, 1, 1}
+	for i := 0; i < len(p.Hops); i++ {
+		if p.CurrHF != uint8(i) || p.CurrINF != wantINF[i] {
+			t.Fatalf("at step %d: HF=%d INF=%d, want INF=%d", i, p.CurrHF, p.CurrINF, wantINF[i])
+		}
+		if i < len(p.Hops)-1 {
+			if err := p.IncHop(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !p.IsLastHop() {
+		t.Error("expected last hop")
+	}
+	if err := p.IncHop(); err != ErrPathExhausted {
+		t.Errorf("IncHop past end = %v, want ErrPathExhausted", err)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	p := samplePath(t)
+	orig := p.Copy()
+	if err := p.Reverse(); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed: segments swap, hops reverse, ConsDir flips.
+	if p.SegLens != [3]uint8{3, 2, 0} {
+		t.Errorf("SegLens after reverse = %v", p.SegLens)
+	}
+	if p.Infos[0].SegID != 0xcafe || p.Infos[0].ConsDir {
+		t.Errorf("info 0 after reverse = %+v", p.Infos[0])
+	}
+	if p.Hops[0] != orig.Hops[4] || p.Hops[4] != orig.Hops[0] {
+		t.Error("hops not globally reversed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("reversed path invalid: %v", err)
+	}
+	if err := p.Reverse(); err != nil {
+		t.Fatal(err)
+	}
+	// Double reverse restores everything except Curr pointers (reset to 0).
+	if p.SegLens != orig.SegLens {
+		t.Errorf("SegLens after double reverse = %v", p.SegLens)
+	}
+	for i := range p.Hops {
+		if p.Hops[i] != orig.Hops[i] {
+			t.Errorf("hop %d differs after double reverse", i)
+		}
+	}
+	for i := range p.Infos {
+		if p.Infos[i] != orig.Infos[i] {
+			t.Errorf("info %d differs after double reverse", i)
+		}
+	}
+}
+
+// Property: random well-formed paths survive serialize/decode and
+// reverse/reverse round trips.
+func TestPathRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gen := func() *Path {
+		segs := 1 + rng.Intn(3)
+		p := &Path{}
+		total := 0
+		for i := 0; i < segs; i++ {
+			l := 1 + rng.Intn(5)
+			p.SegLens[i] = uint8(l)
+			inf := InfoField{
+				ConsDir:   rng.Intn(2) == 0,
+				SegID:     uint16(rng.Intn(1 << 16)),
+				Timestamp: rng.Uint32(),
+			}
+			p.Infos = append(p.Infos, inf)
+			for j := 0; j < l; j++ {
+				var mac [6]byte
+				rng.Read(mac[:])
+				p.Hops = append(p.Hops, HopField{
+					ExpTime:     uint8(rng.Intn(256)),
+					ConsIngress: uint16(rng.Intn(1 << 16)),
+					ConsEgress:  uint16(rng.Intn(1 << 16)),
+					MAC:         mac,
+				})
+			}
+			total += l
+		}
+		return p
+	}
+	for i := 0; i < 300; i++ {
+		p := gen()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated path invalid: %v", err)
+		}
+		buf := make([]byte, p.Len())
+		if err := p.SerializeTo(buf); err != nil {
+			t.Fatal(err)
+		}
+		var q Path
+		if err := q.DecodeFromBytes(buf); err != nil {
+			t.Fatal(err)
+		}
+		buf2 := make([]byte, q.Len())
+		if err := q.SerializeTo(buf2); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatal("serialize/decode/serialize not stable")
+		}
+		r := q.Copy()
+		if err := r.Reverse(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Reverse(); err != nil {
+			t.Fatal(err)
+		}
+		for j := range q.Hops {
+			if r.Hops[j] != q.Hops[j] {
+				t.Fatal("reverse not an involution on hops")
+			}
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	p := samplePath(t)
+	q := p.Copy()
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Error("equal paths must share a fingerprint")
+	}
+	q.Hops[0].ConsEgress = 99
+	if p.Fingerprint() == q.Fingerprint() {
+		t.Error("different interface sequences must differ")
+	}
+	var empty Path
+	if empty.Fingerprint() != "empty" {
+		t.Errorf("empty fingerprint = %q", empty.Fingerprint())
+	}
+	// MAC changes must not affect the fingerprint.
+	r := p.Copy()
+	r.Hops[0].MAC[0] ^= 0xff
+	if p.Fingerprint() != r.Fingerprint() {
+		t.Error("fingerprint must not depend on MACs")
+	}
+}
+
+func TestBuildSegmentAndVerifyConsDir(t *testing.T) {
+	keys := []scrypto.HopKey{
+		scrypto.DeriveHopKey([]byte("as-a"), 0),
+		scrypto.DeriveHopKey([]byte("as-b"), 0),
+		scrypto.DeriveHopKey([]byte("as-c"), 0),
+	}
+	specs := []HopSpec{
+		{Key: keys[0], ConsIngress: 0, ConsEgress: 1, ExpTime: 63},
+		{Key: keys[1], ConsIngress: 2, ConsEgress: 3, ExpTime: 63},
+		{Key: keys[2], ConsIngress: 4, ConsEgress: 0, ExpTime: 63},
+	}
+	const ts = 12345
+	hops, betas, err := BuildSegment(ts, 0x1111, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(betas) != 4 {
+		t.Fatalf("betas = %v", betas)
+	}
+
+	// Traverse in construction direction: info starts at beta_0.
+	info := InfoField{ConsDir: true, SegID: betas[0], Timestamp: ts}
+	for i := range hops {
+		if !VerifyHop(keys[i], &info, &hops[i]) {
+			t.Fatalf("hop %d failed verification in ConsDir", i)
+		}
+	}
+
+	// Against construction direction: info starts at beta_n, hops are
+	// visited in reverse order.
+	info = InfoField{ConsDir: false, SegID: betas[len(hops)], Timestamp: ts}
+	for i := len(hops) - 1; i >= 0; i-- {
+		if !VerifyHop(keys[i], &info, &hops[i]) {
+			t.Fatalf("hop %d failed verification against ConsDir", i)
+		}
+	}
+}
+
+func TestVerifyHopRejectsTampering(t *testing.T) {
+	key := scrypto.DeriveHopKey([]byte("as"), 0)
+	hops, betas, err := BuildSegment(7, 42, []HopSpec{
+		{Key: key, ConsIngress: 1, ConsEgress: 2, ExpTime: 63},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered egress interface.
+	h := hops[0]
+	h.ConsEgress = 9
+	info := InfoField{ConsDir: true, SegID: betas[0], Timestamp: 7}
+	if VerifyHop(key, &info, &h) {
+		t.Error("tampered egress accepted")
+	}
+
+	// Tampered MAC in reverse direction (exercises the fold-then-verify
+	// algebra).
+	h = hops[0]
+	h.MAC[5] ^= 1
+	info = InfoField{ConsDir: false, SegID: betas[1], Timestamp: 7}
+	if VerifyHop(key, &info, &h) {
+		t.Error("tampered MAC accepted in reverse direction")
+	}
+
+	// Wrong accumulator (segment splicing).
+	h = hops[0]
+	info = InfoField{ConsDir: true, SegID: betas[0] ^ 1, Timestamp: 7}
+	if VerifyHop(key, &info, &h) {
+		t.Error("spliced accumulator accepted")
+	}
+}
+
+func TestDataDirectionHelpers(t *testing.T) {
+	hop := &HopField{ConsIngress: 10, ConsEgress: 20}
+	fwd := &InfoField{ConsDir: true}
+	rev := &InfoField{ConsDir: false}
+	if DataIngress(fwd, hop) != 10 || DataEgress(fwd, hop) != 20 {
+		t.Error("ConsDir direction helpers wrong")
+	}
+	if DataIngress(rev, hop) != 20 || DataEgress(rev, hop) != 10 {
+		t.Error("reverse direction helpers wrong")
+	}
+}
+
+func TestQuickPathMetaEncoding(t *testing.T) {
+	// Property: meta field encoding round-trips for all legal values.
+	f := func(inf, hf, s0, s1, s2 uint8) bool {
+		s0 = s0%10 + 1
+		s1 = s1 % 10
+		if s1 == 0 {
+			s2 = 0
+		} else {
+			s2 = s2 % 10
+		}
+		segs := 1
+		total := int(s0)
+		if s1 > 0 {
+			segs++
+			total += int(s1)
+		}
+		if s2 > 0 {
+			segs++
+			total += int(s2)
+		}
+		p := &Path{SegLens: [3]uint8{s0, s1, s2}}
+		p.Infos = make([]InfoField, segs)
+		p.Hops = make([]HopField, total)
+		p.CurrHF = hf % uint8(total)
+		p.CurrINF = uint8(p.infIndexForHop(int(p.CurrHF)))
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		buf := make([]byte, p.Len())
+		if p.SerializeTo(buf) != nil {
+			return false
+		}
+		var q Path
+		if q.DecodeFromBytes(buf) != nil {
+			return false
+		}
+		return q.CurrHF == p.CurrHF && q.CurrINF == p.CurrINF && q.SegLens == p.SegLens
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPathSerialize(b *testing.B) {
+	p := &Path{
+		SegLens: [3]uint8{3, 3, 3},
+		Infos:   make([]InfoField, 3),
+		Hops:    make([]HopField, 9),
+	}
+	buf := make([]byte, p.Len())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.SerializeTo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathDecode(b *testing.B) {
+	p := &Path{
+		SegLens: [3]uint8{3, 3, 3},
+		Infos:   make([]InfoField, 3),
+		Hops:    make([]HopField, 9),
+	}
+	buf := make([]byte, p.Len())
+	if err := p.SerializeTo(buf); err != nil {
+		b.Fatal(err)
+	}
+	var q Path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := q.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

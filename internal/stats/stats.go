@@ -1,0 +1,267 @@
+// Package stats provides the statistical summaries used by the SCIERA
+// evaluation: empirical CDFs, percentiles, time-bucketed series, and
+// fixed-width table rendering for figures reproduced as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// The zero value is ready to use.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends samples.
+func (c *CDF) Add(v ...float64) {
+	c.samples = append(c.samples, v...)
+	c.sorted = false
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns NaN when empty.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if p <= 0 {
+		return c.samples[0]
+	}
+	if p >= 100 {
+		return c.samples[len(c.samples)-1]
+	}
+	rank := p / 100 * float64(len(c.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return c.samples[lo]*(1-frac) + c.samples[hi]*frac
+}
+
+// Median is Percentile(50).
+func (c *CDF) Median() float64 { return c.Percentile(50) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.samples {
+		s += v
+	}
+	return s / float64(len(c.samples))
+}
+
+// Min and Max return the extrema, or NaN when empty.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	return c.samples[0]
+}
+
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	return c.samples[len(c.samples)-1]
+}
+
+// FractionBelow returns the fraction of samples strictly below x.
+func (c *CDF) FractionBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, x)
+	return float64(i) / float64(len(c.samples))
+}
+
+// FractionAtOrBelow returns the fraction of samples <= x.
+func (c *CDF) FractionAtOrBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	i := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > x })
+	return float64(i) / float64(len(c.samples))
+}
+
+// Point is one (x, cumulative fraction) pair of a rendered CDF.
+type Point struct {
+	X    float64
+	Frac float64
+}
+
+// Points renders the CDF at n evenly spaced cumulative fractions,
+// suitable for plotting or table output.
+func (c *CDF) Points(n int) []Point {
+	if len(c.samples) == 0 || n < 2 {
+		return nil
+	}
+	c.sort()
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		pts[i] = Point{X: c.Percentile(f * 100), Frac: f}
+	}
+	return pts
+}
+
+// Summary is a one-line numeric digest of a distribution.
+type Summary struct {
+	N             int
+	Min, P10, P25 float64
+	Median, Mean  float64
+	P75, P90, P99 float64
+	Max           float64
+}
+
+// Summarize computes a Summary.
+func (c *CDF) Summarize() Summary {
+	return Summary{
+		N:      c.Len(),
+		Min:    c.Min(),
+		P10:    c.Percentile(10),
+		P25:    c.Percentile(25),
+		Median: c.Median(),
+		Mean:   c.Mean(),
+		P75:    c.Percentile(75),
+		P90:    c.Percentile(90),
+		P99:    c.Percentile(99),
+		Max:    c.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f p10=%.1f p25=%.1f median=%.1f mean=%.1f p75=%.1f p90=%.1f p99=%.1f max=%.1f",
+		s.N, s.Min, s.P10, s.P25, s.Median, s.Mean, s.P75, s.P90, s.P99, s.Max)
+}
+
+// Table renders rows of labelled values with aligned columns; the
+// experiment harness uses it to print the paper's tables and heatmaps.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the aligned textual table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// TimeSeries buckets (t, value) observations into fixed-width windows
+// and reports per-bucket means — the aggregation multiping applies every
+// 60 seconds and Figure 7 applies per day.
+type TimeSeries struct {
+	bucketWidth float64
+	sums        map[int64]float64
+	counts      map[int64]int
+}
+
+// NewTimeSeries creates a series with the given bucket width (in the same
+// unit as the observation times).
+func NewTimeSeries(bucketWidth float64) *TimeSeries {
+	return &TimeSeries{
+		bucketWidth: bucketWidth,
+		sums:        make(map[int64]float64),
+		counts:      make(map[int64]int),
+	}
+}
+
+// Observe records value v at time t.
+func (ts *TimeSeries) Observe(t, v float64) {
+	b := int64(math.Floor(t / ts.bucketWidth))
+	ts.sums[b] += v
+	ts.counts[b]++
+}
+
+// Bucket is one aggregated window.
+type Bucket struct {
+	Start float64
+	Mean  float64
+	Count int
+}
+
+// Buckets returns the aggregated windows in time order.
+func (ts *TimeSeries) Buckets() []Bucket {
+	keys := make([]int64, 0, len(ts.sums))
+	for k := range ts.sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Bucket, len(keys))
+	for i, k := range keys {
+		out[i] = Bucket{
+			Start: float64(k) * ts.bucketWidth,
+			Mean:  ts.sums[k] / float64(ts.counts[k]),
+			Count: ts.counts[k],
+		}
+	}
+	return out
+}
+
+// Ratio returns a/b guarding against division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

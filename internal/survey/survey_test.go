@@ -1,0 +1,70 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregatesMatchPaper(t *testing.T) {
+	a := Compute(Responses())
+	if a.N != 8 {
+		t.Fatalf("n = %d", a.N)
+	}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"decade experience", a.PctDecadeExperience, 50},
+		{"engineers", a.PctEngineers, 50},
+		{"deploy within month", a.PctDeployWithinMonth, 37.5},
+		{"deploy up to six months", a.PctDeployUpToSixMonths, 50},
+		{"no vendor support", a.PctNoVendorSupport, 62.5},
+		{"hardware under 20k", a.PctHardwareUnder20K, 75},
+		{"no license cost", a.PctNoLicenseCost, 62.5},
+		{"no extra hiring", a.PctNoExtraHiring, 87.5}, // one of eight hired
+		{"opex comparable", a.PctOpexComparable, 62.5},
+		{"cost driver hardware", a.PctCostDriverHardware, 62.5},
+		{"cost driver staff", a.PctCostDriverStaff, 50},
+		{"cost driver monitoring", a.PctCostDriverMonitoring, 25},
+		{"cost driver power", a.PctCostDriverPower, 12.5},
+		{"workload under 10%", a.PctWorkloadUnder10, 87.5},
+		{"vendor support <3/yr", a.PctVendorUnder3PerYear, 62.5},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %.1f%%, want %.1f%%", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Compute(Responses()).Render()
+	for _, want := range []string{"62.5%", "75.0%", "87.5%", "Paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHardwareCosts(t *testing.T) {
+	costs := HardwareCosts(Responses())
+	if len(costs) != 8 {
+		t.Fatalf("costs = %d", len(costs))
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] < costs[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	// 75% under 20k USD.
+	under := 0
+	for _, c := range costs {
+		if c < 20000 {
+			under++
+		}
+	}
+	if under != 6 {
+		t.Errorf("under 20k = %d/8", under)
+	}
+}

@@ -1,0 +1,31 @@
+package topology
+
+import "math"
+
+// GreatCircleKM returns the great-circle distance in kilometres between
+// two (lat, lon) coordinates in degrees.
+func GreatCircleKM(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKM = 6371.0
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	la1, lo1, la2, lo2 := toRad(lat1), toRad(lon1), toRad(lat2), toRad(lon2)
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// PropagationMS estimates one-way fibre propagation delay in
+// milliseconds for a great-circle distance, using the standard
+// speed-of-light-in-fibre rule of thumb (~200 km/ms) and a 1.4x
+// cable-routing detour factor.
+func PropagationMS(distanceKM float64) float64 {
+	const fibreKMPerMS = 200.0
+	const detour = 1.4
+	return distanceKM * detour / fibreKMPerMS
+}
+
+// GeoLatencyMS estimates the one-way latency between two coordinates.
+func GeoLatencyMS(lat1, lon1, lat2, lon2 float64) float64 {
+	return PropagationMS(GreatCircleKM(lat1, lon1, lat2, lon2))
+}

@@ -1,0 +1,410 @@
+// Package topology models inter-domain topologies: ASes, the typed links
+// between them (core, parent-child, peering), per-link propagation
+// latencies, and link state. It provides the graph substrate shared by
+// the SCION control plane (beaconing walks the typed graph), the
+// discrete-event simulator (links carry delays), and the BGP-like IP
+// baseline the paper compares against.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sciera/internal/addr"
+)
+
+// LinkType classifies an inter-AS link.
+type LinkType int
+
+const (
+	// LinkCore connects two core ASes.
+	LinkCore LinkType = iota
+	// LinkParent is a provider-to-customer link; end A is the parent.
+	LinkParent
+	// LinkPeer connects two non-core ASes laterally.
+	LinkPeer
+)
+
+func (t LinkType) String() string {
+	switch t {
+	case LinkCore:
+		return "core"
+	case LinkParent:
+		return "parent"
+	case LinkPeer:
+		return "peer"
+	default:
+		return fmt.Sprintf("linktype(%d)", int(t))
+	}
+}
+
+// LinkEnd identifies one end of a link: an AS and its interface ID.
+type LinkEnd struct {
+	IA   addr.IA
+	IfID uint16
+}
+
+func (e LinkEnd) String() string { return fmt.Sprintf("%s#%d", e.IA, e.IfID) }
+
+// Link is an inter-AS link. For LinkParent, A is the parent (provider).
+type Link struct {
+	ID        int
+	A, B      LinkEnd
+	Type      LinkType
+	LatencyMS float64
+	// BandwidthMbps caps the circuit's throughput in the simulator
+	// (0 = unconstrained). Packets queue behind each other per
+	// direction, so multipath senders aggregate capacity across
+	// parallel circuits — the Science-DMZ property of Section 4.7.1.
+	BandwidthMbps float64
+	// Name optionally labels the physical circuit (e.g. "CAE-1").
+	Name string
+
+	up bool
+}
+
+// SetBandwidth sets the link's capacity (Mbit/s; 0 = unconstrained).
+func (l *Link) SetBandwidth(mbps float64) { l.BandwidthMbps = mbps }
+
+// Other returns the far end as seen from ia.
+func (l *Link) Other(ia addr.IA) (LinkEnd, bool) {
+	switch ia {
+	case l.A.IA:
+		return l.B, true
+	case l.B.IA:
+		return l.A, true
+	default:
+		return LinkEnd{}, false
+	}
+}
+
+// Local returns the near end for ia.
+func (l *Link) Local(ia addr.IA) (LinkEnd, bool) {
+	switch ia {
+	case l.A.IA:
+		return l.A, true
+	case l.B.IA:
+		return l.B, true
+	default:
+		return LinkEnd{}, false
+	}
+}
+
+// ASInfo describes one AS.
+type ASInfo struct {
+	IA   addr.IA
+	Core bool
+	MTU  uint16
+	// Name is the human-readable deployment name ("GEANT", "UFMS", ...).
+	Name string
+	// Lat and Lon locate the AS's PoP for latency derivation.
+	Lat, Lon float64
+	// Commercial marks commercial providers. Research networks must
+	// not carry transit between commercial parties (Section 4.9), so
+	// beaconing refuses to extend a commercially-originated beacon
+	// toward another commercial AS.
+	Commercial bool
+}
+
+// Topology is a mutable AS-level topology. All methods are safe for
+// concurrent use.
+type Topology struct {
+	mu     sync.RWMutex
+	ases   map[addr.IA]*ASInfo
+	links  []*Link
+	byIA   map[addr.IA][]*Link
+	byIf   map[LinkEnd]*Link
+	nextIf map[addr.IA]uint16
+}
+
+// New creates an empty topology.
+func New() *Topology {
+	return &Topology{
+		ases:   make(map[addr.IA]*ASInfo),
+		byIA:   make(map[addr.IA][]*Link),
+		byIf:   make(map[LinkEnd]*Link),
+		nextIf: make(map[addr.IA]uint16),
+	}
+}
+
+// Errors.
+var (
+	ErrUnknownAS   = errors.New("topology: unknown AS")
+	ErrDupAS       = errors.New("topology: AS already present")
+	ErrBadLink     = errors.New("topology: invalid link")
+	ErrIfInUse     = errors.New("topology: interface already in use")
+	ErrUnknownLink = errors.New("topology: unknown link")
+)
+
+// AddAS registers an AS.
+func (t *Topology) AddAS(info ASInfo) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.ases[info.IA]; ok {
+		return fmt.Errorf("%w: %v", ErrDupAS, info.IA)
+	}
+	if info.MTU == 0 {
+		info.MTU = 1472
+	}
+	cp := info
+	t.ases[info.IA] = &cp
+	t.nextIf[info.IA] = 1
+	return nil
+}
+
+// AS returns the AS info.
+func (t *Topology) AS(ia addr.IA) (ASInfo, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.ases[ia]
+	if !ok {
+		return ASInfo{}, false
+	}
+	return *a, true
+}
+
+// ASes returns all ASes sorted by IA.
+func (t *Topology) ASes() []ASInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ASInfo, 0, len(t.ases))
+	for _, a := range t.ases {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IA < out[j].IA })
+	return out
+}
+
+// CoreASes returns the core ASes sorted by IA.
+func (t *Topology) CoreASes() []addr.IA {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []addr.IA
+	for ia, a := range t.ases {
+		if a.Core {
+			out = append(out, ia)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLink connects two ASes. Interface IDs of 0 are auto-assigned. For
+// LinkParent, a is the parent end. The link starts up.
+func (t *Topology) AddLink(a, b LinkEnd, typ LinkType, latencyMS float64, name string) (*Link, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	asA, okA := t.ases[a.IA]
+	asB, okB := t.ases[b.IA]
+	if !okA {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAS, a.IA)
+	}
+	if !okB {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAS, b.IA)
+	}
+	if a.IA == b.IA {
+		return nil, fmt.Errorf("%w: self-link at %v", ErrBadLink, a.IA)
+	}
+	switch typ {
+	case LinkCore:
+		if !asA.Core || !asB.Core {
+			return nil, fmt.Errorf("%w: core link requires two core ASes (%v-%v)", ErrBadLink, a.IA, b.IA)
+		}
+	case LinkParent:
+		// Parent end must be able to offer transit; no structural
+		// requirement beyond distinct ASes.
+	case LinkPeer:
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadLink, typ)
+	}
+	if a.IfID == 0 {
+		a.IfID = t.allocIfLocked(a.IA)
+	}
+	if b.IfID == 0 {
+		b.IfID = t.allocIfLocked(b.IA)
+	}
+	if _, used := t.byIf[a]; used {
+		return nil, fmt.Errorf("%w: %v", ErrIfInUse, a)
+	}
+	if _, used := t.byIf[b]; used {
+		return nil, fmt.Errorf("%w: %v", ErrIfInUse, b)
+	}
+	l := &Link{
+		ID:        len(t.links),
+		A:         a,
+		B:         b,
+		Type:      typ,
+		LatencyMS: latencyMS,
+		Name:      name,
+		up:        true,
+	}
+	t.links = append(t.links, l)
+	t.byIA[a.IA] = append(t.byIA[a.IA], l)
+	t.byIA[b.IA] = append(t.byIA[b.IA], l)
+	t.byIf[a] = l
+	t.byIf[b] = l
+	return l, nil
+}
+
+func (t *Topology) allocIfLocked(ia addr.IA) uint16 {
+	for {
+		id := t.nextIf[ia]
+		t.nextIf[ia] = id + 1
+		if _, used := t.byIf[LinkEnd{IA: ia, IfID: id}]; !used && id != 0 {
+			return id
+		}
+	}
+}
+
+// Links returns a snapshot of all links.
+func (t *Topology) Links() []*Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Link(nil), t.links...)
+}
+
+// LinksOf returns the links attached to an AS.
+func (t *Topology) LinksOf(ia addr.IA) []*Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Link(nil), t.byIA[ia]...)
+}
+
+// LinkAt resolves an AS-local interface to its link.
+func (t *Topology) LinkAt(end LinkEnd) (*Link, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l, ok := t.byIf[end]
+	return l, ok
+}
+
+// SetLinkUp flips link state; the data plane drops packets on down links
+// and the control plane stops propagating beacons across them.
+func (t *Topology) SetLinkUp(id int, up bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.links) {
+		return fmt.Errorf("%w: %d", ErrUnknownLink, id)
+	}
+	t.links[id].up = up
+	return nil
+}
+
+// LinkUp reports link state.
+func (t *Topology) LinkUp(id int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= len(t.links) {
+		return false
+	}
+	return t.links[id].up
+}
+
+// UpLinksOf returns the currently-up links of an AS.
+func (t *Topology) UpLinksOf(ia addr.IA) []*Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Link
+	for _, l := range t.byIA[ia] {
+		if l.up {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Children returns the parent->child links where ia is the parent.
+func (t *Topology) Children(ia addr.IA) []*Link {
+	var out []*Link
+	for _, l := range t.LinksOf(ia) {
+		if l.Type == LinkParent && l.A.IA == ia {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Parents returns the parent->child links where ia is the child.
+func (t *Topology) Parents(ia addr.IA) []*Link {
+	var out []*Link
+	for _, l := range t.LinksOf(ia) {
+		if l.Type == LinkParent && l.B.IA == ia {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Validate performs structural sanity checks: every parent relation must
+// be acyclic and every non-core AS must have a path of parent links up to
+// a core AS (otherwise it can never learn segments).
+func (t *Topology) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	// Parent-graph cycle check via DFS colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[addr.IA]int, len(t.ases))
+	var visit func(ia addr.IA) error
+	visit = func(ia addr.IA) error {
+		color[ia] = gray
+		for _, l := range t.byIA[ia] {
+			if l.Type != LinkParent || l.A.IA != ia {
+				continue
+			}
+			child := l.B.IA
+			switch color[child] {
+			case gray:
+				return fmt.Errorf("topology: parent cycle through %v and %v", ia, child)
+			case white:
+				if err := visit(child); err != nil {
+					return err
+				}
+			}
+		}
+		color[ia] = black
+		return nil
+	}
+	for ia := range t.ases {
+		if color[ia] == white {
+			if err := visit(ia); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Reachability: BFS down from cores along parent links.
+	reached := make(map[addr.IA]bool)
+	var queue []addr.IA
+	for ia, a := range t.ases {
+		if a.Core {
+			reached[ia] = true
+			queue = append(queue, ia)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range t.byIA[cur] {
+			if l.Type != LinkParent || l.A.IA != cur {
+				continue
+			}
+			if !reached[l.B.IA] {
+				reached[l.B.IA] = true
+				queue = append(queue, l.B.IA)
+			}
+		}
+	}
+	for ia := range t.ases {
+		if !reached[ia] {
+			return fmt.Errorf("topology: %v unreachable from any core AS via parent links", ia)
+		}
+	}
+	return nil
+}
