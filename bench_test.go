@@ -298,6 +298,79 @@ func BenchmarkRouterForwarding(b *testing.B) {
 	}
 }
 
+// BenchmarkRouterForwardingMultiHop measures forwarding across a 3-AS
+// chain (two inter-AS hops), so the packet crosses one transit router
+// that performs both an ingress and an egress hop-field check. Like the
+// single-hop variant, the steady state must not allocate.
+func BenchmarkRouterForwardingMultiHop(b *testing.B) {
+	topo := topology.New()
+	ias := []addr.IA{
+		addr.MustParseIA("71-1"),
+		addr.MustParseIA("71-2"),
+		addr.MustParseIA("71-3"),
+	}
+	for _, ia := range ias {
+		if err := topo.AddAS(topology.ASInfo{IA: ia, Core: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(ias); i++ {
+		if _, err := topo.AddLink(topology.LinkEnd{IA: ias[i]}, topology.LinkEnd{IA: ias[i+1]}, topology.LinkCore, 0.01, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sim := simnet.NewSim(time.Unix(0, 0))
+	n, err := core.Build(topo, sim, core.Options{Seed: 1, IntraASDelay: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+
+	src2, dst2 := ias[0], ias[2]
+	sink := 0
+	recv, err := sim.Listen(netip.AddrPortFrom(sim.AllocAddr(), 40000), func([]byte, netip.AddrPort) { sink++ })
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := sim.Listen(netip.AddrPort{}, nil)
+	rtr, _ := n.Router(src2)
+	var path *combinator.Path
+	for _, p := range n.Paths(src2, dst2) {
+		if len(p.Raw.Hops) >= 3 { // src egress, transit in+out, dst ingress
+			path = p
+			break
+		}
+	}
+	if path == nil {
+		b.Fatal("no multi-hop path")
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: dst2, SrcIA: src2,
+			DstHost: recv.LocalAddr().Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *path.Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Send(raw, rtr.LocalAddr())
+		sim.Run()
+	}
+	b.StopTimer()
+	if sink != b.N {
+		b.Fatalf("delivered %d of %d", sink, b.N)
+	}
+}
+
 // BenchmarkPathLookup measures a daemon-style lookup+combination on the
 // full SCIERA control plane.
 func BenchmarkPathLookup(b *testing.B) {

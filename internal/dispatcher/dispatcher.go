@@ -27,6 +27,11 @@ type Dispatcher struct {
 	mu    sync.RWMutex
 	table map[uint16]netip.AddrPort // SCION L4 port -> application socket
 
+	// procs pools decode state so the demux path allocates nothing in
+	// steady state (the same treatment as the border router's
+	// packet-processor pool).
+	procs sync.Pool
+
 	// Forwarded and Dropped count demux outcomes.
 	Forwarded atomic.Uint64
 	Dropped   atomic.Uint64
@@ -39,6 +44,7 @@ type Dispatcher struct {
 // Start binds the dispatcher on the host address's well-known port.
 func Start(net simnet.Network, host netip.Addr) (*Dispatcher, error) {
 	d := &Dispatcher{table: make(map[uint16]netip.AddrPort)}
+	d.procs.New = func() any { return new(slayers.Packet) }
 	conn, err := net.Listen(netip.AddrPortFrom(host, router.DispatcherPort), d.handle)
 	if err != nil {
 		return nil, fmt.Errorf("dispatcher: %w", err)
@@ -73,9 +79,11 @@ func (d *Dispatcher) Unregister(port uint16) {
 	delete(d.table, port)
 }
 
-// handle demultiplexes one packet.
+// handle demultiplexes one packet. raw is only borrowed for the call
+// (simnet.Handler contract); Send copies it, so no buffer is retained.
 func (d *Dispatcher) handle(raw []byte, from netip.AddrPort) {
-	var pkt slayers.Packet
+	pkt := d.procs.Get().(*slayers.Packet)
+	defer d.procs.Put(pkt)
 	if err := pkt.Decode(raw); err != nil {
 		d.Dropped.Add(1)
 		return
@@ -88,7 +96,7 @@ func (d *Dispatcher) handle(raw []byte, from netip.AddrPort) {
 		}
 		_ = sum
 	}
-	port, ok := demuxPort(&pkt)
+	port, ok := demuxPort(pkt)
 	if !ok {
 		d.Dropped.Add(1)
 		return
@@ -115,8 +123,10 @@ func demuxPort(pkt *slayers.Packet) (uint16, bool) {
 			slayers.SCMPTracerouteRequest, slayers.SCMPTracerouteReply:
 			return pkt.SCMP.Identifier, true
 		default:
+			// SCMP error: demux on the quoted packet's source port. The
+			// quote may be truncated, so parse tolerantly.
 			var quoted slayers.Packet
-			if err := quoted.Decode(pkt.Payload); err != nil {
+			if err := quoted.DecodeTruncated(pkt.Payload); err != nil {
 				return 0, false
 			}
 			if quoted.UDP != nil {

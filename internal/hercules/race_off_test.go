@@ -1,0 +1,5 @@
+//go:build !race
+
+package hercules_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package hercules_test
+
+// raceEnabled reports whether the race detector is active; performance
+// thresholds are relaxed under its ~10x slowdown.
+const raceEnabled = true

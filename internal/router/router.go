@@ -8,6 +8,14 @@
 // lean deployments run a single commodity server per AS, Section 4.3.2).
 // It is written against simnet.Network and runs identically on the
 // discrete-event simulator and on real loopback UDP sockets.
+//
+// The forwarding path is allocation-free in steady state: decode state,
+// the MAC instance and serialization scratch live in pooled packet
+// processors (one sync.Pool per router), and a forwarded packet is
+// never re-serialized — the path pointers and SegID accumulators are
+// patched directly into the received bytes (slayers.Packet.PatchPath),
+// which the transport's buffer-ownership contract lets the handler
+// mutate and send onward.
 package router
 
 import (
@@ -39,6 +47,9 @@ const DispatcherPort = 30041
 // EndhostPort is the alias used when referring to the port's
 // dispatcherless role.
 const EndhostPort = DispatcherPort
+
+// scmpQuoteLen caps the quoted offending packet in SCMP errors.
+const scmpQuoteLen = 512
 
 // Metrics counts router events; all fields are atomic.
 type Metrics struct {
@@ -88,7 +99,22 @@ type Router struct {
 	mu     sync.RWMutex
 	ifaces map[uint16]*iface
 
+	// procs pools packet processors: decode state, MAC instance and
+	// serialization scratch reused across packets (SNIPPETS exemplar).
+	procs sync.Pool
+
 	metrics *Metrics
+}
+
+// packetProcessor bundles everything the forwarding pipeline needs per
+// packet so that steady-state processing allocates nothing: the decoded
+// layer structs (whose path slices DecodeFromBytes reuses), one CMAC
+// instance keyed with the AS's hop key, and a scratch buffer for
+// serializing router-originated packets.
+type packetProcessor struct {
+	pkt slayers.Packet
+	mac *scrypto.CMAC
+	buf []byte
 }
 
 // New binds the router's internal socket.
@@ -96,10 +122,17 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Net == nil {
 		return nil, errors.New("router: Config.Net required")
 	}
+	if _, err := scrypto.NewHopCMAC(cfg.Key); err != nil {
+		return nil, fmt.Errorf("router %v: %w", cfg.IA, err)
+	}
 	r := &Router{
 		cfg:     cfg,
 		ifaces:  make(map[uint16]*iface),
 		metrics: cfg.Metrics,
+	}
+	r.procs.New = func() any {
+		mac, _ := scrypto.NewHopCMAC(cfg.Key) // key validated in New
+		return &packetProcessor{mac: mac}
 	}
 	if r.metrics == nil {
 		r.metrics = &Metrics{}
@@ -181,15 +214,18 @@ func (r *Router) linkUp(ifID uint16) bool {
 	return r.cfg.LinkUp(ifID)
 }
 
-// handle processes one underlay datagram.
+// handle processes one underlay datagram. raw is owned by this call for
+// its duration (simnet.Handler contract): the fast path mutates it in
+// place and sends it onward before returning.
 func (r *Router) handle(raw []byte, inIf uint16, origin originKind) {
 	r.metrics.Received.Add(1)
-	var pkt slayers.Packet
-	if err := pkt.Decode(raw); err != nil {
+	proc := r.procs.Get().(*packetProcessor)
+	defer r.procs.Put(proc)
+	if err := proc.pkt.Decode(raw); err != nil {
 		r.metrics.ParseFailures.Add(1)
 		return
 	}
-	r.process(&pkt, inIf, origin)
+	r.process(proc, &proc.pkt, raw, inIf, origin)
 }
 
 // origin classifies where a packet entered the router.
@@ -201,13 +237,15 @@ const (
 	originSelf                       // generated by this router (SCMP)
 )
 
-// process runs the forwarding pipeline. inIf is the arrival interface
+// process runs the forwarding pipeline. pkt is the decoded packet and
+// raw the buffer it was decoded from (nil for router-originated packets,
+// which have no wire image yet). inIf is the arrival interface
 // (meaningful only for originExternal).
-func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
+func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16, origin originKind) {
 	// Empty path: AS-local delivery only.
 	if pkt.Hdr.Path.IsEmpty() {
 		if pkt.Hdr.DstIA == r.cfg.IA && origin != originExternal {
-			r.deliverLocal(pkt)
+			r.deliverLocal(proc, pkt, raw)
 			return
 		}
 		r.metrics.NoRouteDrops.Add(1)
@@ -256,13 +294,13 @@ func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
 				(!info.ConsDir && pkt.Hdr.Path.IsLastHopOfSegment()))
 		valid := false
 		if peerCross {
-			valid = spath.VerifyPeerHop(r.cfg.Key, info, hop)
+			valid = spath.VerifyPeerHopWith(proc.mac, info, hop)
 		} else {
-			valid = spath.VerifyHop(r.cfg.Key, info, hop)
+			valid = spath.VerifyHopWith(proc.mac, info, hop)
 		}
 		if !valid {
 			r.metrics.MACFailures.Add(1)
-			r.sendSCMPError(pkt, &slayers.SCMP{
+			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type:    slayers.SCMPParameterProblem,
 				Pointer: uint16(pkt.Hdr.Path.CurrHF),
 			})
@@ -271,18 +309,18 @@ func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
 
 		// Traceroute: answer router-alert hops addressed to us.
 		if hop.RouterAlert && pkt.SCMP != nil && pkt.SCMP.Type == slayers.SCMPTracerouteRequest {
-			r.answerTraceroute(pkt, spath.DataIngress(info, hop))
+			r.answerTraceroute(proc, pkt, spath.DataIngress(info, hop))
 			return
 		}
 
 		egress := spath.DataEgress(info, hop)
 		if pkt.Hdr.Path.IsLastHop() {
 			if egress == 0 && pkt.Hdr.DstIA == r.cfg.IA {
-				r.deliverLocal(pkt)
+				r.deliverLocal(proc, pkt, raw)
 			} else {
 				r.metrics.NoRouteDrops.Add(1)
 				if egress == 0 {
-					r.sendSCMPError(pkt, &slayers.SCMP{
+					r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 						Type: slayers.SCMPDestinationUnreachable,
 						Code: slayers.CodeNoRoute,
 					})
@@ -316,7 +354,7 @@ func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
 		r.mu.RUnlock()
 		if !ok || !out.remote.IsValid() {
 			r.metrics.NoRouteDrops.Add(1)
-			r.sendSCMPError(pkt, &slayers.SCMP{
+			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type: slayers.SCMPDestinationUnreachable,
 				Code: slayers.CodeNoRoute,
 			})
@@ -324,7 +362,7 @@ func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
 		}
 		if !r.linkUp(egress) {
 			r.metrics.LinkDownDrops.Add(1)
-			r.sendSCMPError(pkt, &slayers.SCMP{
+			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type: slayers.SCMPExternalInterfaceDown,
 				IA:   addr.IA(r.cfg.IA),
 				IfID: uint64(egress),
@@ -335,37 +373,58 @@ func (r *Router) process(pkt *slayers.Packet, inIf uint16, origin originKind) {
 			r.metrics.ParseFailures.Add(1)
 			return
 		}
-		raw, err := pkt.Serialize(nil)
+		wire, err := r.wireImage(proc, pkt, raw)
 		if err != nil {
 			r.metrics.ParseFailures.Add(1)
 			return
 		}
 		r.metrics.Forwarded.Add(1)
-		_ = out.conn.Send(raw, out.remote)
+		_ = out.conn.Send(wire, out.remote)
 		return
 	}
+}
+
+// wireImage produces the outgoing bytes for pkt. On the fast path (the
+// packet arrived on the wire) only the path pointers and SegID
+// accumulators changed, so the received buffer is patched in place —
+// zero copies, zero allocations. Router-originated packets (raw == nil)
+// are serialized into the processor's reusable scratch buffer, which
+// Send's copy-on-send semantics let us reuse immediately afterwards.
+func (r *Router) wireImage(proc *packetProcessor, pkt *slayers.Packet, raw []byte) ([]byte, error) {
+	if raw != nil {
+		if err := pkt.PatchPath(raw); err != nil {
+			return nil, err
+		}
+		return raw, nil
+	}
+	out, err := pkt.Serialize(proc.buf[:0])
+	if err != nil {
+		return nil, err
+	}
+	proc.buf = out
+	return out, nil
 }
 
 // deliverLocal hands the packet to the destination end host over the
 // intra-AS underlay: directly to the application's UDP port in
 // dispatcherless mode, or to the shared dispatcher port.
-func (r *Router) deliverLocal(pkt *slayers.Packet) {
+func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []byte) {
 	port, ok := r.localPort(pkt)
 	if !ok {
 		r.metrics.NoRouteDrops.Add(1)
-		r.sendSCMPError(pkt, &slayers.SCMP{
+		r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 			Type: slayers.SCMPDestinationUnreachable,
 			Code: slayers.CodePortUnreach,
 		})
 		return
 	}
-	out, err := pkt.Serialize(nil)
+	wire, err := r.wireImage(proc, pkt, raw)
 	if err != nil {
 		r.metrics.ParseFailures.Add(1)
 		return
 	}
 	r.metrics.Delivered.Add(1)
-	_ = r.conn.Send(out, netip.AddrPortFrom(pkt.Hdr.DstHost, port))
+	_ = r.conn.Send(wire, netip.AddrPortFrom(pkt.Hdr.DstHost, port))
 }
 
 // localPort determines the underlay port for local delivery.
@@ -388,9 +447,12 @@ func (r *Router) localPort(pkt *slayers.Packet) (uint16, bool) {
 			return pkt.SCMP.Identifier, true
 		default:
 			// Error message: route to the offending packet's source
-			// port, parsed from the quote.
+			// port, parsed from the quote. The quote is truncated to
+			// scmpQuoteLen bytes, so a strict decode would reject
+			// errors quoting large packets — parse tolerantly, only as
+			// far as the L4 ports require.
 			var quoted slayers.Packet
-			if err := quoted.Decode(pkt.Payload); err != nil {
+			if err := quoted.DecodeTruncated(pkt.Payload); err != nil {
 				return 0, false
 			}
 			if quoted.UDP != nil {
@@ -408,7 +470,7 @@ func (r *Router) localPort(pkt *slayers.Packet) (uint16, bool) {
 // sendSCMPError originates an SCMP error back to the packet's source,
 // quoting the offending packet. Errors are never sent in response to
 // SCMP errors (ICMP's classic amplification guard).
-func (r *Router) sendSCMPError(offending *slayers.Packet, scmp *slayers.SCMP) {
+func (r *Router) sendSCMPError(proc *packetProcessor, offending *slayers.Packet, raw []byte, scmp *slayers.SCMP) {
 	if offending.SCMP != nil && offending.SCMP.Type.IsError() {
 		return
 	}
@@ -416,12 +478,17 @@ func (r *Router) sendSCMPError(offending *slayers.Packet, scmp *slayers.SCMP) {
 	if err != nil {
 		return
 	}
-	quote, err := offending.Serialize(nil)
-	if err != nil {
-		return
+	// Quote the offending packet as received when its wire image is at
+	// hand; packets originated by this router are serialized first.
+	quote := raw
+	if quote == nil {
+		quote, err = offending.Serialize(nil)
+		if err != nil {
+			return
+		}
 	}
-	if len(quote) > 512 {
-		quote = quote[:512]
+	if len(quote) > scmpQuoteLen {
+		quote = quote[:scmpQuoteLen]
 	}
 	reply := &slayers.Packet{
 		Hdr: slayers.SCION{
@@ -435,11 +502,11 @@ func (r *Router) sendSCMPError(offending *slayers.Packet, scmp *slayers.SCMP) {
 		Payload: quote,
 	}
 	r.metrics.SCMPSent.Add(1)
-	r.inject(reply)
+	r.inject(proc, reply)
 }
 
 // answerTraceroute responds to a router-alerted traceroute request.
-func (r *Router) answerTraceroute(req *slayers.Packet, ifID uint16) {
+func (r *Router) answerTraceroute(proc *packetProcessor, req *slayers.Packet, ifID uint16) {
 	rev, err := spath.ReverseFromCurrent(&req.Hdr.Path)
 	if err != nil {
 		return
@@ -461,11 +528,12 @@ func (r *Router) answerTraceroute(req *slayers.Packet, ifID uint16) {
 		},
 	}
 	r.metrics.SCMPSent.Add(1)
-	r.inject(reply)
+	r.inject(proc, reply)
 }
 
 // inject runs a router-originated packet through the forwarding
-// pipeline.
-func (r *Router) inject(pkt *slayers.Packet) {
-	r.process(pkt, 0, originSelf)
+// pipeline. The packet has no wire image yet (raw == nil): if it leaves
+// the router it is serialized into the processor's scratch buffer.
+func (r *Router) inject(proc *packetProcessor, pkt *slayers.Packet) {
+	r.process(proc, pkt, nil, 0, originSelf)
 }

@@ -196,6 +196,72 @@ func TestUnknownEgressInterface(t *testing.T) {
 	}
 }
 
+// TestTruncatedQuoteStillRoutedToApp is the regression test for SCMP
+// errors quoting MTU-sized packets: the router truncates the quote to
+// 512 bytes, which cuts the quoted UDP payload mid-stream and makes the
+// quote unparseable for the strict decoder. The error must still reach
+// the offending application — the router resolves the local port by
+// parsing the quote tolerantly, only as far as the L4 ports require.
+func TestTruncatedQuoteStillRoutedToApp(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(0, 0))
+	ra, _ := New(Config{IA: asA, Key: key(asA), Net: sim})
+	defer ra.Close()
+
+	src := listen(t, sim, netip.AddrPort{})
+	// Path wants egress interface 9, which doesn't exist, so the router
+	// answers with DestinationUnreachable quoting the offender.
+	hops, betas, _ := spath.BuildSegment(100, 7, []spath.HopSpec{
+		{Key: key(asA), ConsIngress: 0, ConsEgress: 9, ExpTime: 63},
+		{Key: key(asB), ConsIngress: 1, ConsEgress: 0, ExpTime: 63},
+	})
+	p := spath.Path{
+		SegLens: [3]uint8{2, 0, 0},
+		Infos:   []spath.InfoField{{ConsDir: true, SegID: betas[0], Timestamp: 100}},
+		Hops:    hops,
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: asB, SrcIA: asA,
+			DstHost: sim.AllocAddr(),
+			SrcHost: src.conn.LocalAddr().Addr(),
+			Path:    p,
+		},
+		UDP:     &slayers.UDP{SrcPort: src.conn.LocalAddr().Port(), DstPort: 9},
+		Payload: make([]byte, 1400), // MTU-sized: guarantees quote truncation
+	}
+	raw, _ := pkt.Serialize(nil)
+	if len(raw) <= scmpQuoteLen {
+		t.Fatalf("setup: offender %d bytes, need > %d to truncate", len(raw), scmpQuoteLen)
+	}
+	_ = src.conn.Send(raw, ra.LocalAddr())
+	sim.Run()
+
+	// The error must come back to the offending application's exact
+	// port even though the quote is truncated.
+	if len(src.pkts) != 1 || src.pkts[0].SCMP == nil ||
+		src.pkts[0].SCMP.Type != slayers.SCMPDestinationUnreachable {
+		t.Fatalf("expected DestinationUnreachable at src, got %+v", src.pkts)
+	}
+	quote := src.pkts[0].Payload
+	if len(quote) != scmpQuoteLen {
+		t.Fatalf("quote = %d bytes, want truncated to %d", len(quote), scmpQuoteLen)
+	}
+	// The strict decoder must reject the cut-off quote (this is what
+	// used to break delivery) while the tolerant decoder recovers the
+	// L4 ports.
+	var strict slayers.Packet
+	if err := strict.Decode(quote); err == nil {
+		t.Fatal("strict decode accepted a truncated quote; test no longer exercises the tolerant path")
+	}
+	var quoted slayers.Packet
+	if err := quoted.DecodeTruncated(quote); err != nil {
+		t.Fatalf("tolerant decode: %v", err)
+	}
+	if quoted.UDP == nil || quoted.UDP.SrcPort != src.conn.LocalAddr().Port() || quoted.UDP.DstPort != 9 {
+		t.Errorf("quoted ports = %+v", quoted.UDP)
+	}
+}
+
 func TestTraceroute(t *testing.T) {
 	sim := simnet.NewSim(time.Unix(0, 0))
 	ra, rb := twoAS(t, sim, false)

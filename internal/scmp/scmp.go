@@ -94,9 +94,10 @@ func (p *Pinger) handle(raw []byte, _ netip.AddrPort) {
 			return
 		}
 		// An SCMP error in response to one of our probes: fail the
-		// matching probe immediately (identified via the quoted packet).
+		// matching probe immediately (identified via the quoted packet,
+		// which routers may truncate — parse tolerantly).
 		var quoted slayers.Packet
-		if err := quoted.Decode(pkt.Payload); err != nil || quoted.SCMP == nil {
+		if err := quoted.DecodeTruncated(pkt.Payload); err != nil || quoted.SCMP == nil {
 			return
 		}
 		seq := quoted.SCMP.SeqNo

@@ -19,6 +19,12 @@ const blockSize = aes.BlockSize // 16
 type CMAC struct {
 	c      cipher.Block
 	k1, k2 [blockSize]byte
+	// x, y, last and out are per-instance scratch blocks. They live in
+	// the struct rather than on the stack because arguments passed to
+	// the cipher.Block interface escape under Go's escape analysis —
+	// stack arrays would turn every MAC into heap allocations, which
+	// the router's per-packet verification cannot afford.
+	x, y, last, out [blockSize]byte
 }
 
 // NewCMAC returns an AES-CMAC instance for the given 16-, 24- or 32-byte key.
@@ -50,7 +56,15 @@ func shiftLeft(dst, src *[blockSize]byte) {
 
 // Sum computes the 16-byte CMAC of msg, appending it to dst.
 func (m *CMAC) Sum(dst, msg []byte) []byte {
-	var x, y [blockSize]byte
+	var out [blockSize]byte
+	m.SumInto(&out, msg)
+	return append(dst, out[:]...)
+}
+
+// SumInto computes the 16-byte CMAC of msg into out without allocating.
+// It is the hot-path variant used by per-packet MAC verification.
+func (m *CMAC) SumInto(out *[blockSize]byte, msg []byte) {
+	m.x = [blockSize]byte{}
 	n := len(msg)
 	full := n / blockSize
 	rem := n % blockSize
@@ -61,22 +75,22 @@ func (m *CMAC) Sum(dst, msg []byte) []byte {
 		blocks--
 	}
 	for i := 0; i < blocks; i++ {
-		xorBlock(&y, &x, msg[i*blockSize:])
-		m.c.Encrypt(x[:], y[:])
+		xorBlock(&m.y, &m.x, msg[i*blockSize:])
+		m.c.Encrypt(m.x[:], m.y[:])
 	}
 
-	var last [blockSize]byte
+	m.last = [blockSize]byte{}
 	if complete {
-		copy(last[:], msg[(full-1)*blockSize:])
-		xorInto(&last, &m.k1)
+		copy(m.last[:], msg[(full-1)*blockSize:])
+		xorInto(&m.last, &m.k1)
 	} else {
-		copy(last[:], msg[blocks*blockSize:])
-		last[rem] = 0x80
-		xorInto(&last, &m.k2)
+		copy(m.last[:], msg[blocks*blockSize:])
+		m.last[rem] = 0x80
+		xorInto(&m.last, &m.k2)
 	}
-	xorInto(&last, &x)
-	m.c.Encrypt(x[:], last[:])
-	return append(dst, x[:]...)
+	xorInto(&m.last, &m.x)
+	m.c.Encrypt(m.out[:], m.last[:])
+	*out = m.out
 }
 
 // Verify reports whether mac is the CMAC of msg, comparing in constant
@@ -85,7 +99,8 @@ func (m *CMAC) Verify(msg, mac []byte) bool {
 	if len(mac) < 6 || len(mac) > blockSize {
 		return false
 	}
-	full := m.Sum(nil, msg)
+	var full [blockSize]byte
+	m.SumInto(&full, msg)
 	return subtle.ConstantTimeCompare(full[:len(mac)], mac) == 1
 }
 

@@ -54,26 +54,46 @@ func (in HopMACInput) Encode(b *[16]byte) {
 }
 
 // ComputeHopMAC computes the truncated hop-field MAC for the given input
-// under the AS's hop key.
+// under the AS's hop key. It sets up a fresh CMAC per call; per-packet
+// code should create the CMAC once (NewHopCMAC) and use HopMAC.
 func ComputeHopMAC(key HopKey, in HopMACInput) ([HopMACLen]byte, error) {
 	m, err := NewCMAC(key[:])
 	if err != nil {
 		return [HopMACLen]byte{}, err
 	}
+	return HopMAC(m, in), nil
+}
+
+// NewHopCMAC prepares a reusable CMAC instance for a hop key. The
+// instance is not safe for concurrent use; the border router keeps one
+// per pooled packet processor.
+func NewHopCMAC(key HopKey) (*CMAC, error) { return NewCMAC(key[:]) }
+
+// HopMAC computes the truncated hop-field MAC with a prepared CMAC,
+// allocating nothing.
+func HopMAC(m *CMAC, in HopMACInput) [HopMACLen]byte {
 	var block [16]byte
 	in.Encode(&block)
-	full := m.Sum(nil, block[:])
+	var full [blockSize]byte
+	m.SumInto(&full, block[:])
 	var out [HopMACLen]byte
-	copy(out[:], full)
-	return out, nil
+	copy(out[:], full[:HopMACLen])
+	return out
 }
 
 // VerifyHopMAC checks a truncated hop-field MAC in constant time.
 func VerifyHopMAC(key HopKey, in HopMACInput, mac [HopMACLen]byte) bool {
-	want, err := ComputeHopMAC(key, in)
+	m, err := NewCMAC(key[:])
 	if err != nil {
 		return false
 	}
+	return VerifyHopMACWith(m, in, mac)
+}
+
+// VerifyHopMACWith checks a truncated hop-field MAC in constant time
+// with a prepared CMAC, allocating nothing.
+func VerifyHopMACWith(m *CMAC, in HopMACInput, mac [HopMACLen]byte) bool {
+	want := HopMAC(m, in)
 	var diff byte
 	for i := range want {
 		diff |= want[i] ^ mac[i]

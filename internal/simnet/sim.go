@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sync"
 	"time"
 )
@@ -17,7 +18,19 @@ type LatencyFunc func(from, to netip.AddrPort, size int, now time.Time) (time.Du
 
 // Sim is a single-threaded discrete-event network. All handlers and
 // timers run inside Run/RunFor on the caller's goroutine, making
-// campaigns fully deterministic. Sim implements Network.
+// campaigns fully deterministic: two Sims driven by the same inputs
+// execute the same events in the same order with the same sequence
+// numbers (broadcast fan-out is sorted by destination address, never
+// left to map iteration order).
+//
+// Buffer ownership: Send copies the datagram while scheduling it, so
+// the caller keeps ownership of its buffer and may reuse it as soon as
+// Send returns. Each receiver gets its own copy (broadcast receivers
+// never share a buffer) and the handler owns that copy — it may mutate
+// it in place and send it onward — but only for the duration of the
+// call: the simulator recycles delivery buffers after the handler
+// returns, so a handler must copy anything it retains. Sim implements
+// Network.
 type Sim struct {
 	// Latency decides per-datagram delay and delivery; nil delivers
 	// everything instantly.
@@ -32,6 +45,13 @@ type Sim struct {
 	nextPort map[netip.Addr]uint16
 	delivered,
 	dropped uint64
+	// bcast is the reusable scratch for sorted broadcast fan-out.
+	bcast []netip.AddrPort
+	// evPool recycles packet-delivery events together with their copy
+	// buffers, keeping the steady-state forwarding path allocation-free.
+	// Timer events are never pooled: their cancel closures outlive the
+	// firing and would otherwise cancel a recycled event.
+	evPool sync.Pool
 }
 
 // NewSim creates a simulator starting at the given time.
@@ -41,14 +61,21 @@ func NewSim(start time.Time) *Sim {
 		handlers: make(map[netip.AddrPort]Handler),
 		nextHost: 1,
 		nextPort: make(map[netip.Addr]uint16),
+		evPool:   sync.Pool{New: func() any { return new(event) }},
 	}
 }
 
+// event is either a timer (fn != nil) or a packet delivery (fn == nil,
+// pkt/from/to set).
 type event struct {
 	at  time.Time
 	seq uint64
 	fn  func()
-	idx int
+	// Packet-delivery fields. pkt is the simulator-owned copy of the
+	// datagram; its backing array is recycled after the handler returns.
+	pkt      []byte
+	from, to netip.AddrPort
+	idx      int
 	// cancelled timers stay in the queue but do nothing.
 	cancelled bool
 }
@@ -77,6 +104,12 @@ func (q *eventQueue) Pop() interface{} {
 var (
 	ErrAddrInUse = errors.New("simnet: address in use")
 	ErrClosed    = errors.New("simnet: conn closed")
+)
+
+// Ephemeral port range for automatic assignment.
+const (
+	ephemeralLo = 30000 // exclusive: first assigned port is 30001
+	ephemeralHi = 65535 // inclusive
 )
 
 // BroadcastAddr is the simulator's broadcast address: datagrams sent to
@@ -109,17 +142,10 @@ func (s *Sim) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
 		a = netip.AddrPortFrom(s.allocAddrLocked(), preferred.Port())
 	}
 	if a.Port() == 0 {
-		p := s.nextPort[a.Addr()]
-		if p < 30000 {
-			p = 30000
+		p, err := s.allocPortLocked(a.Addr())
+		if err != nil {
+			return nil, err
 		}
-		for {
-			p++
-			if _, used := s.handlers[netip.AddrPortFrom(a.Addr(), p)]; !used {
-				break
-			}
-		}
-		s.nextPort[a.Addr()] = p
 		a = netip.AddrPortFrom(a.Addr(), p)
 	}
 	if _, used := s.handlers[a]; used {
@@ -127,6 +153,28 @@ func (s *Sim) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
 	}
 	s.handlers[a] = h
 	return &simConn{sim: s, addr: a}, nil
+}
+
+// allocPortLocked scans the ephemeral range (30001-65535) for a free
+// port on addr, wrapping at the top of the range instead of spilling
+// into port 0 and the low/reserved ports. It fails with ErrAddrInUse
+// once a full cycle finds every port taken.
+func (s *Sim) allocPortLocked(addr netip.Addr) (uint16, error) {
+	p := s.nextPort[addr]
+	if p < ephemeralLo || p >= ephemeralHi {
+		p = ephemeralLo
+	}
+	for tries := 0; tries < ephemeralHi-ephemeralLo; tries++ {
+		p++
+		if p > ephemeralHi {
+			p = ephemeralLo + 1
+		}
+		if _, used := s.handlers[netip.AddrPortFrom(addr, p)]; !used {
+			s.nextPort[addr] = p
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no free ephemeral port on %v", ErrAddrInUse, addr)
 }
 
 // Now implements Network.
@@ -179,10 +227,19 @@ func (c *simConn) Send(pkt []byte, to netip.AddrPort) error {
 
 	if to.Addr() == BroadcastAddr {
 		// Fan out to every listener on the port except the sender.
+		// Destinations are sorted before scheduling so the delivery
+		// events get run-independent sequence numbers — map iteration
+		// order must never leak into the event order.
+		dests := s.bcast[:0]
 		for dest := range s.handlers {
 			if dest.Port() != to.Port() || dest == from {
 				continue
 			}
+			dests = append(dests, dest)
+		}
+		slices.SortFunc(dests, compareAddrPort)
+		s.bcast = dests
+		for _, dest := range dests {
 			s.deliverLocked(pkt, from, dest)
 		}
 		return nil
@@ -191,7 +248,15 @@ func (c *simConn) Send(pkt []byte, to netip.AddrPort) error {
 	return nil
 }
 
-// deliverLocked schedules delivery of one datagram; the caller holds
+func compareAddrPort(a, b netip.AddrPort) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	return int(a.Port()) - int(b.Port())
+}
+
+// deliverLocked schedules delivery of one datagram, copying it into a
+// pooled buffer (the sender keeps ownership of pkt); the caller holds
 // s.mu.
 func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
 	delay := time.Duration(0)
@@ -203,17 +268,15 @@ func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
 		s.dropped++
 		return // datagram semantics: loss is silent
 	}
-	s.scheduleLocked(s.now.Add(delay), func() {
-		s.mu.Lock()
-		h := s.handlers[to]
-		s.mu.Unlock()
-		if h != nil {
-			s.mu.Lock()
-			s.delivered++
-			s.mu.Unlock()
-			h(pkt, from)
-		}
-	})
+	e := s.evPool.Get().(*event)
+	e.at = s.now.Add(delay)
+	e.seq = s.seq
+	s.seq++
+	e.fn = nil
+	e.cancelled = false
+	e.pkt = append(e.pkt[:0], pkt...)
+	e.from, e.to = from, to
+	heap.Push(&s.events, e)
 }
 
 func (c *simConn) Close() error {
@@ -243,8 +306,29 @@ func (s *Sim) Step() bool {
 			continue
 		}
 		s.now = e.at
+		if e.fn != nil {
+			fn := e.fn
+			s.mu.Unlock()
+			fn()
+			return true
+		}
+		// Packet delivery: resolve the handler and account for the
+		// outcome in the same locked section. A conn that closed
+		// between send and delivery loses the datagram — counted as
+		// dropped so Stats() conserves datagrams.
+		h := s.handlers[e.to]
+		if h == nil {
+			s.dropped++
+		} else {
+			s.delivered++
+		}
 		s.mu.Unlock()
-		e.fn()
+		if h != nil {
+			h(e.pkt, e.from)
+		}
+		// The handler has returned and must not have retained e.pkt;
+		// recycle the event together with its buffer.
+		s.evPool.Put(e)
 		return true
 	}
 }
@@ -294,7 +378,10 @@ func (s *Sim) RunLive(stop <-chan struct{}) {
 	}
 }
 
-// Stats reports delivered and dropped datagram counts.
+// Stats reports delivered and dropped datagram counts. Every datagram
+// accepted by Send is eventually counted exactly once: delivered when a
+// handler received it, dropped when the latency function suppressed it
+// or the destination conn closed before delivery.
 func (s *Sim) Stats() (delivered, dropped uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

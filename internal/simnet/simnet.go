@@ -11,6 +11,35 @@
 // Every component above this package (routers, control services,
 // daemons, bootstrappers, applications) is written against the Network
 // interface and runs unmodified on either transport.
+//
+// # Buffer ownership
+//
+// Both transports enforce the same zero-copy-friendly contract:
+//
+//   - Send copies the datagram before returning. The caller keeps
+//     ownership of its buffer and may reuse or mutate it immediately —
+//     this is what lets the border router serialize every outgoing
+//     packet into one per-processor scratch buffer.
+//   - A Handler owns the pkt slice only for the duration of the call.
+//     It may read and mutate it in place (the router patches path
+//     pointers directly in the received bytes) and may pass it to Send,
+//     but it must NOT retain the slice after returning: the transport
+//     recycles delivery buffers. Handlers that keep payload bytes
+//     (receive queues, reassembly maps) must copy them.
+//
+// On Sim, every receiver additionally gets its own private copy:
+// broadcast fan-out never shares one buffer across handlers.
+//
+// # Determinism
+//
+// Sim is fully deterministic: given the same construction parameters
+// and the same sequence of calls, two simulations execute the same
+// events at the same virtual times in the same order. Delivery order is
+// decided by (timestamp, sequence number) alone, and sequence numbers
+// are assigned in a run-independent way — in particular, broadcast
+// fan-out sorts its destination set before scheduling rather than
+// iterating a Go map. RunLive trades this guarantee for wall-clock
+// liveness and is the only exception.
 package simnet
 
 import (
@@ -20,15 +49,18 @@ import (
 
 // Handler processes one received datagram. Handlers must not block: on
 // the simulator they run inside the event loop; on UDPNet they run on
-// the socket's read goroutine.
+// the socket's read goroutine. The pkt buffer is only valid for the
+// duration of the call (see the package comment on buffer ownership);
+// handlers may mutate it in place but must copy anything they retain.
 type Handler func(pkt []byte, from netip.AddrPort)
 
 // Conn is an attachment point able to send datagrams.
 type Conn interface {
 	// LocalAddr returns the bound address.
 	LocalAddr() netip.AddrPort
-	// Send transmits a datagram. The buffer is owned by the transport
-	// after the call.
+	// Send transmits a datagram. The transport copies pkt before
+	// returning: the caller keeps ownership of the buffer and may
+	// reuse it immediately.
 	Send(pkt []byte, to netip.AddrPort) error
 	// Close detaches the conn; the handler will not be invoked again.
 	Close() error

@@ -164,13 +164,24 @@ func TestUDPNetRoundTrip(t *testing.T) {
 
 	var mu sync.Mutex
 	recvd := make(chan string, 1)
+	// The handler runs on the read-loop goroutine, which starts inside
+	// Listen — guard the conn variable it captures.
+	var srvMu sync.Mutex
 	var server Conn
-	server, err := n.Listen(netip.AddrPort{}, func(pkt []byte, from netip.AddrPort) {
-		_ = server.Send(append([]byte("re:"), pkt...), from)
+	conn, err := n.Listen(netip.AddrPort{}, func(pkt []byte, from netip.AddrPort) {
+		srvMu.Lock()
+		sc := server
+		srvMu.Unlock()
+		if sc != nil {
+			_ = sc.Send(append([]byte("re:"), pkt...), from)
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	srvMu.Lock()
+	server = conn
+	srvMu.Unlock()
 	client, err := n.Listen(netip.AddrPort{}, func(pkt []byte, from netip.AddrPort) {
 		mu.Lock()
 		defer mu.Unlock()

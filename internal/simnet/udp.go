@@ -83,6 +83,9 @@ func (c *udpConn) Close() error {
 }
 
 func (c *udpConn) readLoop(h Handler) {
+	// One receive buffer per socket, reused across datagrams: the
+	// Handler contract forbids retaining pkt past the call, so the next
+	// read may overwrite it.
 	buf := make([]byte, 65535)
 	for {
 		n, from, err := c.uc.ReadFromUDPAddrPort(buf)
@@ -96,8 +99,6 @@ func (c *udpConn) readLoop(h Handler) {
 				continue
 			}
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		h(pkt, from)
+		h(buf[:n], from)
 	}
 }

@@ -179,29 +179,66 @@ type Packet struct {
 	udpScratch  UDP
 }
 
-// Serialize renders the packet, appending to dst (which may be nil).
-func (p *Packet) Serialize(dst []byte) ([]byte, error) {
+// totalLen computes the serialized packet length, validating the L4
+// configuration.
+func (p *Packet) totalLen() (int, error) {
 	var l4Len int
 	switch {
 	case p.UDP != nil && p.SCMP == nil:
-		p.Hdr.NextHdr = ProtoUDP
 		l4Len = udpHdrLen + len(p.Payload)
 	case p.SCMP != nil && p.UDP == nil:
-		p.Hdr.NextHdr = ProtoSCMP
 		l4Len = p.SCMP.len() + len(p.Payload)
 	default:
-		return nil, errors.New("slayers: exactly one of UDP/SCMP must be set")
+		return 0, errors.New("slayers: exactly one of UDP/SCMP must be set")
 	}
-	hl := p.Hdr.hdrLen()
-	total := hl + l4Len
+	total := p.Hdr.hdrLen() + l4Len
 	if total > MaxPacketLen {
-		return nil, ErrPacketTooLarge
+		return 0, ErrPacketTooLarge
+	}
+	return total, nil
+}
+
+// Serialize renders the packet, appending to dst (which may be nil).
+// Passing a scratch buffer with spare capacity (buf[:0]) makes the call
+// allocation-free; SerializeTo is the fixed-buffer variant.
+func (p *Packet) Serialize(dst []byte) ([]byte, error) {
+	total, err := p.totalLen()
+	if err != nil {
+		return nil, err
 	}
 	off := len(dst)
-	dst = append(dst, make([]byte, total)...)
-	b := dst[off:]
-	if err := p.Hdr.serializeTo(b, total); err != nil {
+	if cap(dst) >= off+total {
+		dst = dst[:off+total]
+	} else {
+		dst = append(dst, make([]byte, total)...)
+	}
+	if _, err := p.SerializeTo(dst[off:]); err != nil {
 		return nil, err
+	}
+	return dst, nil
+}
+
+// SerializeTo renders the packet into the caller-provided buffer and
+// returns the number of bytes written. The buffer must hold the whole
+// packet; nothing is allocated.
+func (p *Packet) SerializeTo(b []byte) (int, error) {
+	total, err := p.totalLen()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < total {
+		return 0, ErrTruncated
+	}
+	b = b[:total]
+	hl := p.Hdr.hdrLen()
+	l4Len := total - hl
+	if p.UDP != nil {
+		p.Hdr.NextHdr = ProtoUDP
+	} else {
+		p.Hdr.NextHdr = ProtoSCMP
+	}
+	if err := p.Hdr.serializeTo(b, total); err != nil {
+		return 0, err
 	}
 	l4 := b[hl:]
 	if p.UDP != nil {
@@ -217,7 +254,25 @@ func (p *Packet) Serialize(dst []byte) ([]byte, error) {
 		binary.BigEndian.PutUint16(l4[2:4], 0)
 		binary.BigEndian.PutUint16(l4[2:4], checksum(pseudoHeader(&p.Hdr, ProtoSCMP, l4Len), l4))
 	}
-	return dst, nil
+	return total, nil
+}
+
+// PatchPath writes the packet's current path pointers (and the info
+// fields' in-flight SegID accumulators) back into raw, the buffer the
+// packet was decoded from. It is the zero-copy alternative to a full
+// re-serialization when — as on the router's forwarding fast path —
+// nothing but the path state changed: addresses, hop fields, L4 and
+// payload bytes are reused verbatim, and the checksum (which does not
+// cover the path) stays valid.
+func (p *Packet) PatchPath(raw []byte) error {
+	if len(raw) < CmnHdrLen {
+		return ErrTruncated
+	}
+	hl := int(binary.BigEndian.Uint16(raw[6:8]))
+	if hl != p.Hdr.hdrLen() || hl > len(raw) {
+		return fmt.Errorf("%w: patch into buffer with different header shape", ErrBadLength)
+	}
+	return p.Hdr.Path.PatchTo(raw[CmnHdrLen:hl])
 }
 
 // Decode parses a full packet. The payload slice aliases b (NoCopy-style);
@@ -254,6 +309,77 @@ func (p *Packet) Decode(b []byte) error {
 		}
 		p.SCMP = &p.scmpScratch
 		p.Payload = l4[n:]
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownProto, p.Hdr.NextHdr)
+	}
+	return nil
+}
+
+// DecodeTruncated parses a packet that may have been cut short — the
+// quote carried in an SCMP error message, which routers cap at 512
+// bytes regardless of the offending packet's size. It deliberately
+// skips every check that needs the full packet (checksums, total-length
+// consistency, UDP length) and parses only as far as the L4
+// demultiplexing information: UDP src/dst ports, or the SCMP type and
+// identifier. Optional SCMP fields missing from the truncation are left
+// zero; Payload is whatever bytes remain. The header itself (through
+// the path) must be complete — a quote shorter than its own header
+// identifies nothing and is rejected.
+func (p *Packet) DecodeTruncated(b []byte) error {
+	if len(b) < CmnHdrLen {
+		return ErrTruncated
+	}
+	if b[0] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	p.Hdr.TrafficClass = b[1]
+	p.Hdr.NextHdr = b[2]
+	pathType := b[3]
+	hdrLen := int(binary.BigEndian.Uint16(b[6:8]))
+	if hdrLen < CmnHdrLen || hdrLen > len(b) {
+		return ErrTruncated
+	}
+	p.Hdr.DstIA = addr.GetIA(b[8:16])
+	p.Hdr.SrcIA = addr.GetIA(b[16:24])
+	p.Hdr.DstHost = fromAs16(b[24:40])
+	p.Hdr.SrcHost = fromAs16(b[40:56])
+	switch pathType {
+	case PathTypeEmpty:
+		if err := p.Hdr.Path.DecodeFromBytes(nil); err != nil {
+			return err
+		}
+	case PathTypeSCION:
+		if err := p.Hdr.Path.DecodeFromBytes(b[CmnHdrLen:hdrLen]); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownPath, pathType)
+	}
+	l4 := b[hdrLen:]
+	p.UDP, p.SCMP = nil, nil
+	p.Payload = nil
+	switch p.Hdr.NextHdr {
+	case ProtoUDP:
+		if len(l4) < 4 {
+			return ErrTruncated
+		}
+		p.udpScratch.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		p.udpScratch.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		p.UDP = &p.udpScratch
+		if len(l4) > udpHdrLen {
+			p.Payload = l4[udpHdrLen:]
+		}
+	case ProtoSCMP:
+		if len(l4) < scmpCmnLen {
+			return ErrTruncated
+		}
+		if err := p.scmpScratch.decodeTruncatedFrom(l4); err != nil {
+			return err
+		}
+		p.SCMP = &p.scmpScratch
+		if n := p.SCMP.len(); len(l4) > n {
+			p.Payload = l4[n:]
+		}
 	default:
 		return fmt.Errorf("%w: %d", ErrUnknownProto, p.Hdr.NextHdr)
 	}

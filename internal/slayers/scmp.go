@@ -171,3 +171,46 @@ func (s *SCMP) decodeFrom(b []byte) (int, error) {
 	}
 	return n, nil
 }
+
+// decodeTruncatedFrom parses an SCMP header that may be cut short
+// (e.g. inside a truncated SCMP-error quote). Type and Code are
+// required; each optional field is decoded only if its bytes survived
+// the truncation and is left zero otherwise.
+func (s *SCMP) decodeTruncatedFrom(b []byte) error {
+	if len(b) < scmpCmnLen {
+		return ErrTruncated
+	}
+	s.Type = SCMPType(b[0])
+	s.Code = b[1]
+	s.Identifier, s.SeqNo, s.IA, s.IfID, s.Ingress, s.Egress, s.Pointer = 0, 0, 0, 0, 0, 0, 0
+	body := b[scmpCmnLen:]
+	switch s.Type {
+	case SCMPEchoRequest, SCMPEchoReply, SCMPTracerouteRequest, SCMPTracerouteReply:
+		if len(body) >= 2 {
+			s.Identifier = binary.BigEndian.Uint16(body[0:2])
+		}
+		if len(body) >= 4 {
+			s.SeqNo = binary.BigEndian.Uint16(body[2:4])
+		}
+		if (s.Type == SCMPTracerouteRequest || s.Type == SCMPTracerouteReply) && len(body) >= 20 {
+			s.IA = addr.GetIA(body[4:12])
+			s.IfID = binary.BigEndian.Uint64(body[12:20])
+		}
+	case SCMPExternalInterfaceDown:
+		if len(body) >= 16 {
+			s.IA = addr.GetIA(body[0:8])
+			s.IfID = binary.BigEndian.Uint64(body[8:16])
+		}
+	case SCMPInternalConnectivityDown:
+		if len(body) >= 24 {
+			s.IA = addr.GetIA(body[0:8])
+			s.Ingress = binary.BigEndian.Uint64(body[8:16])
+			s.Egress = binary.BigEndian.Uint64(body[16:24])
+		}
+	case SCMPParameterProblem:
+		if len(body) >= 2 {
+			s.Pointer = binary.BigEndian.Uint16(body[0:2])
+		}
+	}
+	return nil
+}

@@ -60,10 +60,20 @@ func BuildSegment(timestamp uint32, beta0 uint16, specs []HopSpec) ([]HopField, 
 // VerifyHop mutates info.SegID exactly as a border router would and
 // returns false if the MAC does not verify.
 func VerifyHop(key scrypto.HopKey, info *InfoField, hop *HopField) bool {
+	m, err := scrypto.NewHopCMAC(key)
+	if err != nil {
+		return false
+	}
+	return VerifyHopWith(m, info, hop)
+}
+
+// VerifyHopWith is VerifyHop with a prepared CMAC instance — the
+// allocation-free variant for the router's per-packet fast path.
+func VerifyHopWith(m *scrypto.CMAC, info *InfoField, hop *HopField) bool {
 	if !info.ConsDir {
 		info.SegID = scrypto.UpdateBeta(info.SegID, hop.MAC)
 	}
-	ok := scrypto.VerifyHopMAC(key, scrypto.HopMACInput{
+	ok := scrypto.VerifyHopMACWith(m, scrypto.HopMACInput{
 		Beta:        info.SegID,
 		Timestamp:   info.Timestamp,
 		ExpTime:     hop.ExpTime,
@@ -86,7 +96,16 @@ func VerifyHop(key scrypto.HopKey, info *InfoField, hop *HopField) bool {
 // field when the crossing is reached (see the combinator's peer path
 // construction).
 func VerifyPeerHop(key scrypto.HopKey, info *InfoField, hop *HopField) bool {
-	return scrypto.VerifyHopMAC(key, scrypto.HopMACInput{
+	m, err := scrypto.NewHopCMAC(key)
+	if err != nil {
+		return false
+	}
+	return VerifyPeerHopWith(m, info, hop)
+}
+
+// VerifyPeerHopWith is VerifyPeerHop with a prepared CMAC instance.
+func VerifyPeerHopWith(m *scrypto.CMAC, info *InfoField, hop *HopField) bool {
+	return scrypto.VerifyHopMACWith(m, scrypto.HopMACInput{
 		Beta:        info.SegID,
 		Timestamp:   info.Timestamp,
 		ExpTime:     hop.ExpTime,

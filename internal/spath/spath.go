@@ -206,12 +206,7 @@ func (p *Path) SerializeTo(b []byte) error {
 	if len(b) < p.Len() {
 		return ErrPathTooShort
 	}
-	meta := uint32(p.CurrINF&0x3)<<30 |
-		uint32(p.CurrHF&0x3f)<<24 |
-		uint32(p.SegLens[0]&0x3f)<<12 |
-		uint32(p.SegLens[1]&0x3f)<<6 |
-		uint32(p.SegLens[2]&0x3f)
-	binary.BigEndian.PutUint32(b[0:4], meta)
+	binary.BigEndian.PutUint32(b[0:4], p.metaWord())
 	off := MetaLen
 	for _, inf := range p.Infos {
 		inf.serialize(b[off : off+InfoLen])
@@ -222,6 +217,36 @@ func (p *Path) SerializeTo(b []byte) error {
 		off += HopLen
 	}
 	return nil
+}
+
+// PatchTo re-encodes only the mutable-in-flight parts of the path —
+// the meta word (CurrINF/CurrHF) and the info fields (whose SegID
+// accumulators routers advance hop by hop) — into b, which must hold a
+// previously serialized copy of this same path. The hop fields, which
+// forwarding never mutates, are left untouched. This is the router's
+// in-place alternative to a full SerializeTo when advancing a packet.
+func (p *Path) PatchTo(b []byte) error {
+	if p.IsEmpty() {
+		return nil
+	}
+	if len(b) < p.Len() {
+		return ErrPathTooShort
+	}
+	binary.BigEndian.PutUint32(b[0:4], p.metaWord())
+	off := MetaLen
+	for _, inf := range p.Infos {
+		inf.serialize(b[off : off+InfoLen])
+		off += InfoLen
+	}
+	return nil
+}
+
+func (p *Path) metaWord() uint32 {
+	return uint32(p.CurrINF&0x3)<<30 |
+		uint32(p.CurrHF&0x3f)<<24 |
+		uint32(p.SegLens[0]&0x3f)<<12 |
+		uint32(p.SegLens[1]&0x3f)<<6 |
+		uint32(p.SegLens[2]&0x3f)
 }
 
 // DecodeFromBytes parses a path of exactly len(b) bytes. An empty buffer
