@@ -1,0 +1,44 @@
+# SCIERA reproduction — build/verify entry points.
+#
+# `make verify` is the full pre-merge gate: compile everything, the
+# race-enabled test suite (includes the allocation guards and telemetry
+# conservation tests), vet, and a gofmt cleanliness check.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check alloc-guard verify bench reference
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The allocation guards skip under -race (its instrumentation
+# allocates), so verify runs them separately without it.
+alloc-guard:
+	$(GO) test -count=1 -run ZeroAlloc .
+
+verify: build race alloc-guard vet fmt-check
+	@echo "verify: OK"
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerates the committed reference run; diff must be empty.
+reference:
+	$(GO) run ./cmd/experiments -all -seed 42 > /tmp/sciera-run.txt
+	diff docs/reference-run.txt /tmp/sciera-run.txt

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"net/netip"
+	"testing"
+
+	"sciera/internal/dispatcher"
+	"sciera/internal/slayers"
+	"sciera/internal/telemetry"
+)
+
+// TestRouterForwardingZeroAlloc guards the PR 1 invariant under PR 3's
+// instrumentation: the forwarding fast path must not allocate in steady
+// state even with the telemetry registry, per-interface counters, trace
+// ring and queue-delay hook all enabled (the default configuration).
+func TestRouterForwardingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	b := &testing.B{}
+	n, sim, a, z := benchNetOpts(b, false, false)
+	defer n.Close()
+	if n.Telemetry() == nil || n.TraceRing() == nil {
+		t.Fatal("telemetry not enabled on the benchmark network")
+	}
+	recv, err := sim.Listen(netip.AddrPortFrom(sim.AllocAddr(), 40000), func([]byte, netip.AddrPort) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sim.Listen(netip.AddrPort{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtrA, _ := n.Router(a)
+	paths := n.Paths(a, z)
+	if len(paths) == 0 {
+		t.Fatal("no path")
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: z, SrcIA: a,
+			DstHost: recv.LocalAddr().Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *paths[0].Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pools (packet processors, sim event buffers) and cross the
+	// first trace-sampling ticks before measuring.
+	for i := 0; i < 256; i++ {
+		_ = src.Send(raw, rtrA.LocalAddr())
+		sim.Run()
+	}
+	if allocs := testing.AllocsPerRun(512, func() {
+		_ = src.Send(raw, rtrA.LocalAddr())
+		sim.Run()
+	}); allocs != 0 {
+		t.Errorf("router forwarding with telemetry enabled: %.2f allocs/op, want 0", allocs)
+	}
+	fwd := rtrA.Metrics().Forwarded.Load()
+	if fwd == 0 {
+		t.Error("telemetry counters did not advance")
+	}
+	if seen, _ := n.TraceRing().Stats(); seen == 0 {
+		t.Error("trace ring saw no packets")
+	}
+	if v, ok := n.Telemetry().Snapshot().Value("sciera_router_forwarded_total", telemetry.L("ia", a.String())); !ok || v != float64(fwd) {
+		t.Errorf("registry series (%g, %v) disagrees with metrics cell %d", v, ok, fwd)
+	}
+}
+
+// TestDispatcherDeliveryZeroAlloc guards the dispatcher demux path the
+// same way: end-to-end delivery through router + dispatcher, telemetry
+// and trace sampling enabled, zero allocations in steady state.
+func TestDispatcherDeliveryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	b := &testing.B{}
+	n, sim, a, z := benchNetOpts(b, true, false)
+	defer n.Close()
+	disp, err := dispatcher.Start(sim, sim.AllocAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	disp.RegisterTelemetry(n.Telemetry())
+	disp.Trace = n.TraceRing()
+	disp.PerPacketWork = 1
+
+	got := 0
+	appConn, err := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disp.Register(40000, appConn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	recvAddr := netip.AddrPortFrom(disp.Addr().Addr(), 40000)
+
+	src, err := sim.Listen(netip.AddrPort{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtrA, _ := n.Router(a)
+	paths := n.Paths(a, z)
+	if len(paths) == 0 {
+		t.Fatal("no path")
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: z, SrcIA: a,
+			DstHost: recvAddr.Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *paths[0].Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		_ = src.Send(raw, rtrA.LocalAddr())
+		sim.Run()
+	}
+	before := got
+	if allocs := testing.AllocsPerRun(512, func() {
+		_ = src.Send(raw, rtrA.LocalAddr())
+		sim.Run()
+	}); allocs != 0 {
+		t.Errorf("dispatcher delivery with telemetry enabled: %.2f allocs/op, want 0", allocs)
+	}
+	if got <= before {
+		t.Fatalf("no packets delivered during measurement (%d -> %d)", before, got)
+	}
+	if disp.DemuxHits.Load() == 0 {
+		t.Error("dispatcher demux-hit counter did not advance")
+	}
+	if v := n.Telemetry().Snapshot().Total("sciera_dispatcher_demux_hits_total"); v != float64(disp.DemuxHits.Load()) {
+		t.Errorf("registry demux hits %g disagree with cell %d", v, disp.DemuxHits.Load())
+	}
+}

@@ -170,8 +170,15 @@ func BenchmarkSurveyTable(b *testing.B) {
 
 // --- Ablations ---
 
-// benchNet builds a two-AS data plane on the simulator.
+// benchNet builds a two-AS data plane on the simulator (telemetry on, as
+// in every production configuration).
 func benchNet(b *testing.B, useDispatcher bool) (*core.Network, *simnet.Sim, addr.IA, addr.IA) {
+	return benchNetOpts(b, useDispatcher, false)
+}
+
+// benchNetOpts is benchNet with the telemetry ablation switch exposed
+// (the instrumented-vs-uninstrumented overhead comparison).
+func benchNetOpts(b *testing.B, useDispatcher, noTelemetry bool) (*core.Network, *simnet.Sim, addr.IA, addr.IA) {
 	b.Helper()
 	topo := topology.New()
 	a := addr.MustParseIA("71-1")
@@ -186,7 +193,10 @@ func benchNet(b *testing.B, useDispatcher bool) (*core.Network, *simnet.Sim, add
 		b.Fatal(err)
 	}
 	sim := simnet.NewSim(time.Unix(0, 0))
-	n, err := core.Build(topo, sim, core.Options{Seed: 1, UseDispatcher: useDispatcher, IntraASDelay: time.Nanosecond})
+	n, err := core.Build(topo, sim, core.Options{
+		Seed: 1, UseDispatcher: useDispatcher, IntraASDelay: time.Nanosecond,
+		NoTelemetry: noTelemetry,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -197,7 +207,11 @@ func benchNet(b *testing.B, useDispatcher bool) (*core.Network, *simnet.Sim, add
 // serialized data plane, with and without the legacy dispatcher in the
 // receive path (the Section 4.8 ablation).
 func benchDeliver(b *testing.B, useDispatcher bool) {
-	n, sim, a, z := benchNet(b, useDispatcher)
+	benchDeliverOpts(b, useDispatcher, false)
+}
+
+func benchDeliverOpts(b *testing.B, useDispatcher, noTelemetry bool) {
+	n, sim, a, z := benchNetOpts(b, useDispatcher, noTelemetry)
 	defer n.Close()
 
 	var disp *dispatcher.Dispatcher
@@ -210,6 +224,10 @@ func benchDeliver(b *testing.B, useDispatcher bool) {
 			b.Fatal(err)
 		}
 		defer disp.Close()
+		if reg := n.Telemetry(); reg != nil {
+			disp.RegisterTelemetry(reg)
+			disp.Trace = n.TraceRing()
+		}
 		appConn, err := sim.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) { got++ })
 		if err != nil {
 			b.Fatal(err)
@@ -265,10 +283,21 @@ func benchDeliver(b *testing.B, useDispatcher bool) {
 func BenchmarkDispatcherDelivery(b *testing.B)     { benchDeliver(b, true) }
 func BenchmarkDispatcherlessDelivery(b *testing.B) { benchDeliver(b, false) }
 
+// BenchmarkDispatcherDeliveryUninstrumented is the telemetry-overhead
+// ablation twin of BenchmarkDispatcherDelivery (Options.NoTelemetry).
+func BenchmarkDispatcherDeliveryUninstrumented(b *testing.B) { benchDeliverOpts(b, true, true) }
+
 // BenchmarkRouterForwarding measures the pure router hot path: decode,
-// MAC verify, path advance, re-serialize, forward.
-func BenchmarkRouterForwarding(b *testing.B) {
-	n, sim, a, z := benchNet(b, false)
+// MAC verify, path advance, re-serialize, forward — with telemetry
+// registered and the trace ring sampling, as deployed.
+func BenchmarkRouterForwarding(b *testing.B) { benchForward(b, false) }
+
+// BenchmarkRouterForwardingUninstrumented is the telemetry-overhead
+// ablation twin (no shared registry, no trace ring, no queue probing).
+func BenchmarkRouterForwardingUninstrumented(b *testing.B) { benchForward(b, true) }
+
+func benchForward(b *testing.B, noTelemetry bool) {
+	n, sim, a, z := benchNetOpts(b, false, noTelemetry)
 	defer n.Close()
 	sink := 0
 	recv, err := sim.Listen(netip.AddrPortFrom(sim.AllocAddr(), 40000), func([]byte, netip.AddrPort) { sink++ })

@@ -7,6 +7,8 @@
 //	experiments -run fig5         # one experiment
 //	experiments -quick -run fig6  # reduced scale for a fast look
 //	experiments -list             # list experiment names
+//	experiments -all -telemetry t.json   # also dump the campaign's telemetry
+//	experiments -telemetry-report t.json # digest dump file(s) instead
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"strings"
 
 	"sciera/internal/experiments"
+	"sciera/internal/telemetry"
 )
 
 func main() {
@@ -25,11 +28,24 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced scale (shorter campaign, fewer runs)")
 		seed  = flag.Int64("seed", 42, "random seed (fixed seeds reproduce EXPERIMENTS.md)")
 		list  = flag.Bool("list", false, "list experiment names")
+		telem = flag.String("telemetry", "", "write the campaign's telemetry snapshot as JSON to this file")
+		rep   = flag.String("telemetry-report", "", "print a report from telemetry dump file(s), comma-separated")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, TelemetryPath: *telem}
 	switch {
+	case *rep != "":
+		var snaps []telemetry.Snapshot
+		for _, path := range strings.Split(*rep, ",") {
+			s, err := experiments.LoadTelemetry(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			snaps = append(snaps, s)
+		}
+		experiments.TelemetryReport(os.Stdout, snaps...)
 	case *list:
 		fmt.Println(strings.Join(experiments.Names, "\n"))
 	case *all:

@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	stdnet "net"
+	"net/http"
 	"os"
 	"time"
 
@@ -21,11 +23,13 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "multiping-dataset.json", "output dataset path")
-		days     = flag.Int("days", sciera.CampaignDays, "campaign length in days")
-		interval = flag.Duration("interval", 5*time.Minute, "measurement interval")
-		seed     = flag.Int64("seed", 42, "seed")
-		stall    = flag.Bool("stall", true, "reproduce the tool's hourly ICMP stalls")
+		out         = flag.String("out", "multiping-dataset.json", "output dataset path")
+		days        = flag.Int("days", sciera.CampaignDays, "campaign length in days")
+		interval    = flag.Duration("interval", 5*time.Minute, "measurement interval")
+		seed        = flag.Int64("seed", 42, "seed")
+		stall       = flag.Bool("stall", true, "reproduce the tool's hourly ICMP stalls")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics on this TCP address while the campaign runs")
+		telemDump   = flag.String("telemetry-dump", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -51,10 +55,31 @@ func main() {
 	fatal(err)
 	defer camp.Close()
 
+	if *metricsAddr != "" {
+		// Live scrape point: counters are atomics, so reading them
+		// concurrently with the (virtual-time) campaign is safe.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", n.Telemetry().Handler())
+		ln, err := stdnet.Listen("tcp", *metricsAddr)
+		fatal(err)
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics for the campaign's duration\n", ln.Addr())
+	}
+
 	start := time.Now()
 	ds, err := camp.Run()
 	fatal(err)
 	fatal(ds.Save(*out))
+
+	if *telemDump != "" {
+		f, err := os.Create(*telemDump)
+		fatal(err)
+		fatal(n.Telemetry().SnapshotWithTrace(n.TraceRing()).WriteJSON(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote telemetry snapshot to %s\n", *telemDump)
+	}
 
 	scion, ip := ds.PingCDFs()
 	fmt.Printf("wrote %s: %d interval records, %d SCMP probes (%.1fs wall clock)\n",

@@ -6,18 +6,26 @@
 //	sciera -topo                         # AS and circuit inventory
 //	sciera -showpaths 71-225,71-2:0:5c   # paths UVa -> UFMS
 //	sciera -ping 71-20965,71-2:0:3b -n 4 # SCMP echo GEANT -> Daejeon
+//	sciera -metrics-addr 127.0.0.1:9090  # serve Prometheus /metrics
+//	sciera -ping ... -telemetry-dump t.json  # JSON snapshot at exit
 package main
 
 import (
 	"flag"
 	"fmt"
+	stdnet "net"
+	"net/http"
+	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sciera/internal/addr"
 	"sciera/internal/combinator"
 	"sciera/internal/core"
+	"sciera/internal/dispatcher"
 	"sciera/internal/pan"
 	"sciera/internal/sciera"
 	"sciera/internal/scmp"
@@ -26,12 +34,14 @@ import (
 
 func main() {
 	var (
-		topoFlag  = flag.Bool("topo", false, "print the deployment inventory")
-		showpaths = flag.String("showpaths", "", "show paths: <src-ia>,<dst-ia>")
-		ping      = flag.String("ping", "", "SCMP ping: <src-ia>,<dst-ia>")
-		trace     = flag.String("traceroute", "", "SCMP traceroute: <src-ia>,<dst-ia>")
-		count     = flag.Int("n", 3, "ping count")
-		seed      = flag.Int64("seed", 42, "control plane seed")
+		topoFlag    = flag.Bool("topo", false, "print the deployment inventory")
+		showpaths   = flag.String("showpaths", "", "show paths: <src-ia>,<dst-ia>")
+		ping        = flag.String("ping", "", "SCMP ping: <src-ia>,<dst-ia>")
+		trace       = flag.String("traceroute", "", "SCMP traceroute: <src-ia>,<dst-ia>")
+		count       = flag.Int("n", 3, "ping count")
+		seed        = flag.Int64("seed", 42, "control plane seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics on this TCP address and wait for Ctrl-C")
+		telemDump   = flag.String("telemetry-dump", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -39,19 +49,28 @@ func main() {
 		printTopo()
 		return
 	}
-	if *showpaths == "" && *ping == "" && *trace == "" {
+	if *showpaths == "" && *ping == "" && *trace == "" && *metricsAddr == "" && *telemDump == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	topo, err := sciera.Build()
 	fatal(err)
-	net := simnet.NewUDPNet()
-	defer net.Close()
+	underlay := simnet.NewUDPNet()
+	defer underlay.Close()
 	fmt.Fprintln(os.Stderr, "building the SCIERA network on loopback UDP (29 ASes)...")
-	n, err := core.Build(topo, net, core.Options{Seed: *seed, BestPerOrigin: 14})
+	n, err := core.Build(topo, underlay, core.Options{Seed: *seed, BestPerOrigin: 14})
 	fatal(err)
 	defer n.Close()
+
+	if *metricsAddr != "" || *telemDump != "" {
+		cleanup := startObservability(n, underlay)
+		defer cleanup()
+	}
+	var srvDone func()
+	if *metricsAddr != "" {
+		srvDone = serveMetrics(n, *metricsAddr)
+	}
 
 	if *showpaths != "" {
 		src, dst := parsePair(*showpaths)
@@ -107,6 +126,63 @@ func main() {
 			}
 		}
 	}
+
+	if *metricsAddr != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srvDone()
+	}
+	if *telemDump != "" {
+		writeTelemetryDump(n, *telemDump)
+	}
+}
+
+// startObservability brings up the remaining instrumented subsystems a
+// plain CLI invocation would not touch, so the exposition covers the
+// whole stack: a dispatcher on its own loopback host (127.0.0.1:30041
+// belongs to the SCMP responders) and an end-host daemon doing a warm
+// and a cached path lookup.
+func startObservability(n *core.Network, underlay *simnet.UDPNet) func() {
+	disp, err := dispatcher.Start(underlay, netip.MustParseAddr("127.0.0.2"))
+	fatal(err)
+	disp.RegisterTelemetry(n.Telemetry())
+	disp.Trace = n.TraceRing()
+
+	vantage := sciera.VantageASes()
+	d, err := n.NewDaemon(vantage[0])
+	fatal(err)
+	if _, err := d.Paths(vantage[1]); err == nil {
+		_, _ = d.Paths(vantage[1]) // second lookup hits the cache
+	}
+	return func() { disp.Close() }
+}
+
+// serveMetrics mounts the Prometheus exposition and the JSON snapshot
+// on a plain TCP listener (curl-able); returns a shutdown func.
+func serveMetrics(n *core.Network, addr string) func() {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", n.Telemetry().Handler())
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = n.TelemetrySnapshot().WriteJSON(w)
+	})
+	ln, err := stdnet.Listen("tcp", addr)
+	fatal(err)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (Ctrl-C to stop)\n", ln.Addr())
+	return func() { _ = srv.Close() }
+}
+
+// writeTelemetryDump writes the end-of-run snapshot (with the sampled
+// packet traces) as JSON.
+func writeTelemetryDump(n *core.Network, path string) {
+	f, err := os.Create(path)
+	fatal(err)
+	fatal(n.Telemetry().SnapshotWithTrace(n.TraceRing()).WriteJSON(f))
+	fatal(f.Close())
+	fmt.Fprintf(os.Stderr, "wrote telemetry snapshot to %s\n", path)
 }
 
 func runTraceroute(n *core.Network, src, dst addr.IA) {

@@ -9,8 +9,33 @@ import (
 	"sciera/internal/pathdb"
 	"sciera/internal/scrypto"
 	"sciera/internal/segment"
+	"sciera/internal/telemetry"
 	"sciera/internal/topology"
 )
+
+// RunnerMetrics counts beaconing outcomes. A control-plane refresh
+// reuses the same cells, so the counters accumulate across rounds as a
+// periodically-beaconing deployment's would.
+type RunnerMetrics struct {
+	// Originated counts PCBs created at core ASes.
+	Originated telemetry.Counter
+	// Propagated counts beacon extensions sent onward to a neighbor.
+	Propagated telemetry.Counter
+	// Filtered counts candidate extensions suppressed by policy: loop
+	// avoidance, the no-commercial-transit rule, down links, and
+	// beacon-store rejections.
+	Filtered telemetry.Counter
+	// Registered counts beacons terminated into registered segments.
+	Registered telemetry.Counter
+}
+
+// Register adopts the cells into a registry.
+func (m *RunnerMetrics) Register(reg *telemetry.Registry) {
+	reg.RegisterCounter("sciera_beacon_originated_total", "PCBs originated at core ASes", &m.Originated)
+	reg.RegisterCounter("sciera_beacon_propagated_total", "beacon extensions propagated to neighbors", &m.Propagated)
+	reg.RegisterCounter("sciera_beacon_filtered_total", "beacon extensions suppressed by policy or store", &m.Filtered)
+	reg.RegisterCounter("sciera_beacon_registered_total", "beacons terminated into registered segments", &m.Registered)
+}
 
 // KeyProvider resolves an AS's hop-field key. In the real deployment
 // each AS only knows its own key; the runner is a whole-network driver,
@@ -43,6 +68,8 @@ type Runner struct {
 	ExpTime uint8
 	// Rng drives beta0 randomization; required for determinism.
 	Rng *rand.Rand
+	// Metrics receives beaconing counters; nil allocates private ones.
+	Metrics *RunnerMetrics
 }
 
 // Registry holds the outcome of a beaconing run: the segment databases
@@ -70,6 +97,9 @@ func (r *Runner) Run() (*Registry, error) {
 	}
 	if r.MaxRounds == 0 {
 		r.MaxRounds = len(r.Topo.ASes()) + 2
+	}
+	if r.Metrics == nil {
+		r.Metrics = &RunnerMetrics{}
 	}
 	reg := &Registry{
 		Up:   make(map[addr.IA]*pathdb.DB),
@@ -199,6 +229,7 @@ func (r *Runner) runCore(reg *Registry) error {
 			if err != nil {
 				return err
 			}
+			r.Metrics.Originated.Inc()
 			other, _ := l.Other(origin)
 			flights = append(flights, flight{seg: seg, l: l, to: other.IA})
 		}
@@ -212,6 +243,7 @@ func (r *Runner) runCore(reg *Registry) error {
 				return fmt.Errorf("beacon: internal: flight misrouted")
 			}
 			if !stores[f.to].Insert(f.seg, inEnd.IfID) {
+				r.Metrics.Filtered.Inc()
 				continue
 			}
 			// Propagate onward over every other up core link whose far
@@ -222,6 +254,7 @@ func (r *Runner) runCore(reg *Registry) error {
 				}
 				other, _ := l.Other(f.to)
 				if f.seg.ContainsIA(other.IA) {
+					r.Metrics.Filtered.Inc()
 					continue
 				}
 				// No-commercial-transit policy (Section 4.9): a beacon
@@ -232,12 +265,14 @@ func (r *Runner) runCore(reg *Registry) error {
 				// registrable at f.to but not extended further toward
 				// commercial peers.
 				if commercial(f.seg.FirstIA()) && commercial(other.IA) {
+					r.Metrics.Filtered.Inc()
 					continue
 				}
 				ext, err := r.extend(f.seg, f.to, inEnd.IfID, l)
 				if err != nil {
 					return err
 				}
+				r.Metrics.Propagated.Inc()
 				next = append(next, flight{seg: ext, l: l, to: other.IA})
 			}
 		}
@@ -252,6 +287,7 @@ func (r *Runner) runCore(reg *Registry) error {
 				if err != nil {
 					return err
 				}
+				r.Metrics.Registered.Inc()
 				reg.Core.Insert(term)
 			}
 		}
@@ -280,12 +316,14 @@ func (r *Runner) runDown(reg *Registry) error {
 	for _, origin := range r.Topo.CoreASes() {
 		for _, l := range r.Topo.Children(origin) {
 			if !r.Topo.LinkUp(l.ID) {
+				r.Metrics.Filtered.Inc()
 				continue
 			}
 			seg, err := r.originate(origin, l)
 			if err != nil {
 				return err
 			}
+			r.Metrics.Originated.Inc()
 			flights = append(flights, flight{seg: seg, l: l, to: l.B.IA})
 		}
 	}
@@ -295,19 +333,23 @@ func (r *Runner) runDown(reg *Registry) error {
 		for _, f := range flights {
 			local, _ := f.l.Local(f.to)
 			if !stores[f.to].Insert(f.seg, local.IfID) {
+				r.Metrics.Filtered.Inc()
 				continue
 			}
 			for _, l := range r.Topo.Children(f.to) {
 				if !r.Topo.LinkUp(l.ID) {
+					r.Metrics.Filtered.Inc()
 					continue
 				}
 				if f.seg.ContainsIA(l.B.IA) {
+					r.Metrics.Filtered.Inc()
 					continue
 				}
 				ext, err := r.extend(f.seg, f.to, local.IfID, l)
 				if err != nil {
 					return err
 				}
+				r.Metrics.Propagated.Inc()
 				next = append(next, flight{seg: ext, l: l, to: l.B.IA})
 			}
 		}
@@ -321,6 +363,7 @@ func (r *Runner) runDown(reg *Registry) error {
 				if err != nil {
 					return err
 				}
+				r.Metrics.Registered.Inc()
 				reg.Up[ia].Insert(term)
 				reg.Down.Insert(term)
 			}

@@ -34,17 +34,9 @@ func (n *Network) AttachAS(info topology.ASInfo, uplinks []UplinkSpec) error {
 	ia := info.IA
 	n.keys[ia] = scrypto.DeriveHopKey([]byte(fmt.Sprintf("as-secret-%s-%d", ia, n.Opts.Seed)), 0)
 
-	// Data plane: router and circuits.
-	r, err := router.New(router.Config{
-		IA:            ia,
-		Key:           n.keys[ia],
-		Net:           n.Transport,
-		UseDispatcher: n.Opts.UseDispatcher,
-		LinkUp: func(ifID uint16) bool {
-			l, ok := n.Topo.LinkAt(topology.LinkEnd{IA: ia, IfID: ifID})
-			return ok && n.Topo.LinkUp(l.ID)
-		},
-	})
+	// Data plane: router and circuits, with the same telemetry wiring
+	// as the ASes built at network construction.
+	r, err := router.New(n.routerConfig(ia))
 	if err != nil {
 		return err
 	}

@@ -29,7 +29,16 @@ import (
 	"sciera/internal/scrypto"
 	"sciera/internal/segment"
 	"sciera/internal/simnet"
+	"sciera/internal/telemetry"
 	"sciera/internal/topology"
+)
+
+// Telemetry defaults: the trace ring holds the most recent sampled
+// packet observations network-wide; one in traceSampleEvery packets is
+// sampled (power of two, so the sampler is a mask test).
+const (
+	traceRingSize    = 4096
+	traceSampleEvery = 64
 )
 
 // parseCert decodes a DER certificate.
@@ -58,6 +67,12 @@ type Options struct {
 	// endpoints (hosts, services, routers); default 100µs. Only
 	// meaningful on the discrete-event transport.
 	IntraASDelay time.Duration
+	// NoTelemetry builds the network without the shared metric registry,
+	// packet-trace ring and queue-delay hook. Subsystem counters still
+	// run (they are plain atomics either way); what this disables is
+	// exposition, trace sampling and the per-wire queue probing — the
+	// uninstrumented arm of the overhead ablation.
+	NoTelemetry bool
 }
 
 // Network is a fully assembled SCION network.
@@ -78,6 +93,20 @@ type Network struct {
 	signers  map[addr.IA]*cppki.Signer
 	trcs     *cppki.Store
 	rng      *rand.Rand
+
+	// telem/trace are the network-wide metric registry and packet-trace
+	// ring (nil with Options.NoTelemetry). beaconMetrics persists across
+	// control-plane refreshes so beacon counters accumulate.
+	telem         *telemetry.Registry
+	trace         *telemetry.TraceRing
+	beaconMetrics *beacon.RunnerMetrics
+	queueHist     *telemetry.Histogram
+	// busyUntil tracks each directed wire's transmit-queue horizon. It
+	// is written by the simulator's latency model (inside the sim lock)
+	// and read by the routers' QueueDelay hook (outside it); busyMu is
+	// always the innermost lock, so there is no ordering cycle.
+	busyMu    sync.Mutex
+	busyUntil map[wireKey]time.Time
 }
 
 // Build assembles the network: keys, PKI (optional), beaconing, routers.
@@ -98,6 +127,16 @@ func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Ne
 	}
 	if n.Opts.Now.IsZero() {
 		n.Opts.Now = transport.Now()
+	}
+	if !opts.NoTelemetry {
+		n.telem = telemetry.NewRegistry()
+		n.trace = telemetry.NewTraceRing(traceRingSize, traceSampleEvery)
+		n.queueHist = n.telem.Histogram("sciera_link_queue_delay_ms",
+			"head-of-line queueing delay at link transmit queues",
+			[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100})
+		if sim, ok := transport.(*simnet.Sim); ok {
+			sim.RegisterTelemetry(n.telem)
+		}
 	}
 
 	for _, as := range topo.ASes() {
@@ -153,11 +192,18 @@ func (n *Network) NewDaemon(ia addr.IA) (*daemon.Daemon, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no router for %v", ia)
 	}
-	return daemon.New(n.Transport, daemon.Info{
+	d, err := daemon.New(n.Transport, daemon.Info{
 		LocalIA:     ia,
 		RouterAddr:  rtr.LocalAddr(),
 		ControlAddr: svc.Addr(),
 	}, n.HostAddr())
+	if err != nil {
+		return nil, err
+	}
+	if n.telem != nil {
+		d.RegisterTelemetry(n.telem)
+	}
+	return d, nil
 }
 
 // AttachResponder starts an SCMP echo responder in an AS at the
@@ -248,12 +294,19 @@ func (n *Network) provisionPKI() error {
 // RefreshControlPlane after every topology event (link failure,
 // maintenance), which models the next beaconing interval converging.
 func (n *Network) refreshControlPlane() error {
+	if n.beaconMetrics == nil {
+		n.beaconMetrics = &beacon.RunnerMetrics{}
+		if n.telem != nil {
+			n.beaconMetrics.Register(n.telem)
+		}
+	}
 	runner := &beacon.Runner{
 		Topo:          n.Topo,
 		Keys:          func(ia addr.IA) scrypto.HopKey { return n.keys[ia] },
 		Timestamp:     uint32(n.Opts.Now.Unix()),
 		BestPerOrigin: n.Opts.BestPerOrigin,
 		Rng:           n.rng,
+		Metrics:       n.beaconMetrics,
 	}
 	if n.Opts.WithPKI {
 		runner.Signers = func(ia addr.IA) *cppki.Signer { return n.signers[ia] }
@@ -285,18 +338,10 @@ func (n *Network) addWire(a, b netip.AddrPort, l *topology.Link) {
 // buildDataPlane instantiates a border router per AS and wires the
 // inter-AS links.
 func (n *Network) buildDataPlane() error {
+	n.busyUntil = make(map[wireKey]time.Time)
 	for _, as := range n.Topo.ASes() {
 		ia := as.IA
-		r, err := router.New(router.Config{
-			IA:            ia,
-			Key:           n.keys[ia],
-			Net:           n.Transport,
-			UseDispatcher: n.Opts.UseDispatcher,
-			LinkUp: func(ifID uint16) bool {
-				l, ok := n.Topo.LinkAt(topology.LinkEnd{IA: ia, IfID: ifID})
-				return ok && n.Topo.LinkUp(l.ID)
-			},
-		})
+		r, err := router.New(n.routerConfig(ia))
 		if err != nil {
 			return err
 		}
@@ -332,9 +377,6 @@ func (n *Network) buildDataPlane() error {
 		if intra == 0 {
 			intra = 100 * time.Microsecond
 		}
-		// busyUntil tracks each directed wire's transmit queue.
-		busyUntil := make(map[wireKey]time.Time)
-		var busyMu sync.Mutex
 		sim.Latency = func(from, to netip.AddrPort, size int, now time.Time) (time.Duration, bool) {
 			k := wireKey{from, to}
 			n.wiresMu.Lock()
@@ -350,13 +392,19 @@ func (n *Network) buildDataPlane() error {
 				}
 				// Serialization time plus head-of-line queueing.
 				txTime := time.Duration(float64(size*8) / (l.BandwidthMbps * 1e6) * float64(time.Second))
-				busyMu.Lock()
+				n.busyMu.Lock()
 				start := now
-				if b, ok := busyUntil[k]; ok && b.After(start) {
+				if b, ok := n.busyUntil[k]; ok && b.After(start) {
 					start = b
 				}
-				busyUntil[k] = start.Add(txTime)
-				busyMu.Unlock()
+				n.busyUntil[k] = start.Add(txTime)
+				n.busyMu.Unlock()
+				if n.queueHist != nil {
+					// Observing is three atomic ops — it cannot perturb
+					// the event order or consume randomness, so the
+					// reference run stays byte-identical.
+					n.queueHist.Observe(float64(start.Sub(now)) / float64(time.Millisecond))
+				}
 				return start.Sub(now) + txTime + prop, true
 			}
 			return intra, true
@@ -365,10 +413,60 @@ func (n *Network) buildDataPlane() error {
 	return nil
 }
 
+// routerConfig assembles an AS's router configuration, including the
+// telemetry wiring (shared registry, trace ring, queue-delay hook).
+func (n *Network) routerConfig(ia addr.IA) router.Config {
+	return router.Config{
+		IA:            ia,
+		Key:           n.keys[ia],
+		Net:           n.Transport,
+		UseDispatcher: n.Opts.UseDispatcher,
+		LinkUp: func(ifID uint16) bool {
+			l, ok := n.Topo.LinkAt(topology.LinkEnd{IA: ia, IfID: ifID})
+			return ok && n.Topo.LinkUp(l.ID)
+		},
+		Telemetry:  n.telem,
+		Trace:      n.trace,
+		QueueDelay: n.queueDelay,
+	}
+}
+
+// queueDelay reports a directed wire's current transmit-queue backlog.
+// It is the routers' QueueDelay hook, called outside the simulator lock
+// for sampled packets only; the transport clock is read before busyMu so
+// no lock is ever held while acquiring another.
+func (n *Network) queueDelay(from, to netip.AddrPort) time.Duration {
+	now := n.Transport.Now()
+	n.busyMu.Lock()
+	b, ok := n.busyUntil[wireKey{from, to}]
+	n.busyMu.Unlock()
+	if !ok || !b.After(now) {
+		return 0
+	}
+	return b.Sub(now)
+}
+
 // Router returns the border router of an AS.
 func (n *Network) Router(ia addr.IA) (*router.Router, bool) {
 	r, ok := n.routers[ia]
 	return r, ok
+}
+
+// Telemetry returns the network-wide metric registry (nil with
+// Options.NoTelemetry).
+func (n *Network) Telemetry() *telemetry.Registry { return n.telem }
+
+// TraceRing returns the network-wide sampled packet-trace ring (nil with
+// Options.NoTelemetry).
+func (n *Network) TraceRing() *telemetry.TraceRing { return n.trace }
+
+// TelemetrySnapshot freezes the registry plus the trace ring; with
+// telemetry disabled it returns an empty snapshot.
+func (n *Network) TelemetrySnapshot() telemetry.Snapshot {
+	if n.telem == nil {
+		return telemetry.Snapshot{}
+	}
+	return n.telem.SnapshotWithTrace(n.trace)
 }
 
 // Key returns an AS's hop key (used by test harnesses and the

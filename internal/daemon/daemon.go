@@ -22,6 +22,7 @@ import (
 	"sciera/internal/control"
 	"sciera/internal/cppki"
 	"sciera/internal/simnet"
+	"sciera/internal/telemetry"
 )
 
 // Info is the AS-local environment the daemon operates in — the product
@@ -48,7 +49,17 @@ type Daemon struct {
 	trcs  *cppki.Store
 	cache map[addr.IA]cacheEntry
 
-	lookups, hits uint64
+	// lookups/hits are telemetry cells so Stats() and a registered
+	// /metrics endpoint read the same numbers.
+	lookups, hits telemetry.Counter
+}
+
+// RegisterTelemetry adopts the daemon's counters into a registry,
+// labeled with the daemon's AS.
+func (d *Daemon) RegisterTelemetry(reg *telemetry.Registry) {
+	l := telemetry.L("ia", d.info.LocalIA.String())
+	reg.RegisterCounter("sciera_daemon_lookups_total", "path lookups served by the daemon", &d.lookups, l)
+	reg.RegisterCounter("sciera_daemon_cache_hits_total", "path lookups answered from the daemon cache", &d.hits, l)
 }
 
 type cacheEntry struct {
@@ -86,9 +97,7 @@ func (d *Daemon) Close() error { return d.cli.Close() }
 
 // Stats reports lookup and cache-hit counts.
 func (d *Daemon) Stats() (lookups, hits uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.lookups, d.hits
+	return d.lookups.Load(), d.hits.Load()
 }
 
 // PathsAsync resolves paths to dst, from cache when fresh, otherwise by
@@ -97,9 +106,9 @@ func (d *Daemon) Stats() (lookups, hits uint64) {
 func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 	now := d.net.Now()
 	d.mu.Lock()
-	d.lookups++
+	d.lookups.Inc()
 	if e, ok := d.cache[dst]; ok && now.Before(e.expires) {
-		d.hits++
+		d.hits.Inc()
 		paths := e.paths
 		d.mu.Unlock()
 		cb(paths, nil)

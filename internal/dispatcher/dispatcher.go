@@ -13,16 +13,17 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 
 	"sciera/internal/router"
 	"sciera/internal/simnet"
 	"sciera/internal/slayers"
+	"sciera/internal/telemetry"
 )
 
 // Dispatcher demultiplexes SCION packets arriving at the shared port.
 type Dispatcher struct {
 	conn simnet.Conn
+	net  simnet.Network
 
 	mu    sync.RWMutex
 	table map[uint16]netip.AddrPort // SCION L4 port -> application socket
@@ -33,8 +34,20 @@ type Dispatcher struct {
 	procs sync.Pool
 
 	// Forwarded and Dropped count demux outcomes.
-	Forwarded atomic.Uint64
-	Dropped   atomic.Uint64
+	Forwarded telemetry.Counter
+	Dropped   telemetry.Counter
+	// DemuxHits/DemuxMisses refine the outcome mix: a hit found a
+	// registered application; a miss resolved no usable port or found
+	// none registered. SCMPSeen counts SCMP packets crossing the demux
+	// path; ParseFailures counts undecodable datagrams.
+	DemuxHits     telemetry.Counter
+	DemuxMisses   telemetry.Counter
+	SCMPSeen      telemetry.Counter
+	ParseFailures telemetry.Counter
+
+	// Trace receives sampled demux observations; nil disables tracing.
+	// Set before traffic flows.
+	Trace *telemetry.TraceRing
 
 	// PerPacketWork simulates the dispatcher's copy/parse overhead in
 	// benchmarks (number of extra payload scans); 0 for none.
@@ -43,7 +56,7 @@ type Dispatcher struct {
 
 // Start binds the dispatcher on the host address's well-known port.
 func Start(net simnet.Network, host netip.Addr) (*Dispatcher, error) {
-	d := &Dispatcher{table: make(map[uint16]netip.AddrPort)}
+	d := &Dispatcher{table: make(map[uint16]netip.AddrPort), net: net}
 	d.procs.New = func() any { return new(slayers.Packet) }
 	conn, err := net.Listen(netip.AddrPortFrom(host, router.DispatcherPort), d.handle)
 	if err != nil {
@@ -51,6 +64,27 @@ func Start(net simnet.Network, host netip.Addr) (*Dispatcher, error) {
 	}
 	d.conn = conn
 	return d, nil
+}
+
+// RegisterTelemetry adopts the dispatcher's counters into a registry.
+// The cells are the same ones tests read directly, so exposition and
+// direct reads can never disagree.
+func (d *Dispatcher) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.RegisterCounter("sciera_dispatcher_forwarded_total", "packets demultiplexed to an application", &d.Forwarded)
+	reg.RegisterCounter("sciera_dispatcher_dropped_total", "packets the dispatcher could not deliver", &d.Dropped)
+	reg.RegisterCounter("sciera_dispatcher_demux_hits_total", "demux lookups that found a registered application", &d.DemuxHits)
+	reg.RegisterCounter("sciera_dispatcher_demux_misses_total", "demux lookups with no registered application", &d.DemuxMisses)
+	reg.RegisterCounter("sciera_dispatcher_scmp_total", "SCMP packets crossing the demux path", &d.SCMPSeen)
+	reg.RegisterCounter("sciera_dispatcher_parse_failures_total", "undecodable datagrams at the dispatcher", &d.ParseFailures)
+}
+
+// tracePacket records one sampled demux observation; callers guard with
+// d.Trace.Sample().
+func (d *Dispatcher) tracePacket(verdict telemetry.TraceVerdict) {
+	d.Trace.Record(telemetry.TraceEntry{
+		TimeNS:  d.net.Now().UnixNano(),
+		Verdict: verdict,
+	})
 }
 
 // Addr returns the dispatcher's underlay address.
@@ -86,7 +120,14 @@ func (d *Dispatcher) handle(raw []byte, from netip.AddrPort) {
 	defer d.procs.Put(pkt)
 	if err := pkt.Decode(raw); err != nil {
 		d.Dropped.Add(1)
+		d.ParseFailures.Add(1)
+		if d.Trace.Sample() {
+			d.tracePacket(telemetry.VerdictParseErr)
+		}
 		return
+	}
+	if pkt.SCMP != nil {
+		d.SCMPSeen.Add(1)
 	}
 	// Simulated parse/copy overhead for the ablation benchmarks.
 	for i := 0; i < d.PerPacketWork; i++ {
@@ -99,6 +140,10 @@ func (d *Dispatcher) handle(raw []byte, from netip.AddrPort) {
 	port, ok := demuxPort(pkt)
 	if !ok {
 		d.Dropped.Add(1)
+		d.DemuxMisses.Add(1)
+		if d.Trace.Sample() {
+			d.tracePacket(telemetry.VerdictDemuxMiss)
+		}
 		return
 	}
 	d.mu.RLock()
@@ -106,9 +151,17 @@ func (d *Dispatcher) handle(raw []byte, from netip.AddrPort) {
 	d.mu.RUnlock()
 	if !ok {
 		d.Dropped.Add(1)
+		d.DemuxMisses.Add(1)
+		if d.Trace.Sample() {
+			d.tracePacket(telemetry.VerdictDemuxMiss)
+		}
 		return
 	}
 	d.Forwarded.Add(1)
+	d.DemuxHits.Add(1)
+	if d.Trace.Sample() {
+		d.tracePacket(telemetry.VerdictDemuxHit)
+	}
 	_ = d.conn.Send(raw, app)
 }
 

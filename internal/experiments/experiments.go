@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"sciera/internal/addr"
@@ -25,6 +26,11 @@ type Config struct {
 	// Quick shrinks the campaigns for fast runs (tests); the full runs
 	// regenerate the paper-scale statistics.
 	Quick bool
+	// TelemetryPath, when set, writes the measurement campaign's final
+	// telemetry snapshot (with trace ring) as JSON to this file — the
+	// -telemetry flag of cmd/experiments. The figure output on w is
+	// unaffected.
+	TelemetryPath string
 }
 
 // CampaignScale returns the measurement campaign parameters.
@@ -136,7 +142,25 @@ func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.TelemetryPath != "" {
+		if err := dumpTelemetry(n, cfg.TelemetryPath); err != nil {
+			return nil, nil, err
+		}
+	}
 	return ds, n, nil
+}
+
+// dumpTelemetry writes the network's end-of-run snapshot as JSON.
+func dumpTelemetry(n *core.Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.TelemetrySnapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // section prints an experiment header.

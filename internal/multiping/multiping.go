@@ -22,6 +22,7 @@ import (
 	"sciera/internal/pan"
 	"sciera/internal/scmp"
 	"sciera/internal/simnet"
+	"sciera/internal/telemetry"
 	"sciera/internal/topology"
 )
 
@@ -197,6 +198,13 @@ type Campaign struct {
 	responders map[addr.IA]*scmp.Responder
 	pairs      map[[2]addr.IA]*pairState
 	data       *Dataset
+
+	// Telemetry cells, resolved once at campaign setup (per probe path
+	// type, so the RTT distributions of shortest/fastest/disjoint are
+	// separable on /metrics like in Figure 10).
+	rttHist [numPathTypes]*telemetry.Histogram
+	lost    [numPathTypes]*telemetry.Counter
+	probes  *telemetry.Counter
 }
 
 // NewCampaign prepares pingers and responders in every relevant AS.
@@ -226,6 +234,18 @@ func NewCampaign(n *core.Network, cfg Config) (*Campaign, error) {
 		pairs:      make(map[[2]addr.IA]*pairState),
 		data:       &Dataset{},
 	}
+	reg := n.Telemetry()
+	if reg == nil {
+		// Telemetry disabled on the network: keep private cells so the
+		// probe callbacks never branch on nil.
+		reg = telemetry.NewRegistry()
+	}
+	for pt := Shortest; pt < numPathTypes; pt++ {
+		l := telemetry.L("path", pt.String())
+		c.rttHist[pt] = reg.Histogram("sciera_multiping_rtt_ms", "SCMP probe RTT per probe path type", telemetry.DefBuckets, l)
+		c.lost[pt] = reg.Counter("sciera_multiping_lost_total", "failed SCMP probes per probe path type", l)
+	}
+	c.probes = reg.Counter("sciera_multiping_probes_total", "SCMP echo probes sent")
 	for _, ia := range cfg.Vantage {
 		p, err := n.NewPinger(ia)
 		if err != nil {
@@ -326,13 +346,16 @@ func (c *Campaign) round(t time.Duration) {
 				ptCopy := pt
 				fp := path.Fingerprint
 				c.data.Probes++
+				c.probes.Inc()
 				c.pingers[src].Ping(dst, c.responders[dst].Addr().Addr(), path, c.Cfg.PingTimeout,
 					func(rtt time.Duration, err error) {
 						if err != nil {
 							st.failsLast++
+							c.lost[ptCopy].Inc()
 							return
 						}
 						ms := float64(rtt) / float64(time.Millisecond)
+						c.rttHist[ptCopy].Observe(ms)
 						st.rtts.Observe(fp, rtt)
 						rec.RTTms[ptCopy] = ms
 						if rec.SCIONRTTms < 0 || ms < rec.SCIONRTTms {

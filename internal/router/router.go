@@ -22,14 +22,16 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"sciera/internal/addr"
 	"sciera/internal/scrypto"
 	"sciera/internal/simnet"
 	"sciera/internal/slayers"
 	"sciera/internal/spath"
+	"sciera/internal/telemetry"
 )
 
 // DispatcherPort is the well-known underlay port of the legacy
@@ -51,17 +53,34 @@ const EndhostPort = DispatcherPort
 // scmpQuoteLen caps the quoted offending packet in SCMP errors.
 const scmpQuoteLen = 512
 
-// Metrics counts router events; all fields are atomic.
+// Metrics counts router events; all fields are atomic
+// (telemetry.Counter keeps atomic.Uint64's Add/Load surface and lets the
+// same cells double as registered metric series).
 type Metrics struct {
-	Received      atomic.Uint64
-	Forwarded     atomic.Uint64
-	Delivered     atomic.Uint64
-	MACFailures   atomic.Uint64
-	IngressDrops  atomic.Uint64
-	NoRouteDrops  atomic.Uint64
-	LinkDownDrops atomic.Uint64
-	ParseFailures atomic.Uint64
-	SCMPSent      atomic.Uint64
+	Received      telemetry.Counter
+	Forwarded     telemetry.Counter
+	Delivered     telemetry.Counter
+	MACFailures   telemetry.Counter
+	IngressDrops  telemetry.Counter
+	NoRouteDrops  telemetry.Counter
+	LinkDownDrops telemetry.Counter
+	ParseFailures telemetry.Counter
+	SCMPSent      telemetry.Counter
+}
+
+// register adopts the metric cells into a registry under the router
+// metric names, labeled with the owning AS.
+func (m *Metrics) register(reg *telemetry.Registry, ia addr.IA) {
+	l := telemetry.L("ia", ia.String())
+	reg.RegisterCounter("sciera_router_received_total", "packets received by the router", &m.Received, l)
+	reg.RegisterCounter("sciera_router_forwarded_total", "packets forwarded to a neighbor AS", &m.Forwarded, l)
+	reg.RegisterCounter("sciera_router_delivered_total", "packets delivered to AS-local hosts", &m.Delivered, l)
+	reg.RegisterCounter("sciera_router_mac_failures_total", "packets dropped for hop-field MAC failure", &m.MACFailures, l)
+	reg.RegisterCounter("sciera_router_ingress_drops_total", "packets dropped for ingress interface mismatch", &m.IngressDrops, l)
+	reg.RegisterCounter("sciera_router_noroute_drops_total", "packets dropped with no usable route", &m.NoRouteDrops, l)
+	reg.RegisterCounter("sciera_router_linkdown_drops_total", "packets dropped on a down egress circuit", &m.LinkDownDrops, l)
+	reg.RegisterCounter("sciera_router_parse_failures_total", "packets dropped as undecodable", &m.ParseFailures, l)
+	reg.RegisterCounter("sciera_router_scmp_sent_total", "SCMP messages originated by the router", &m.SCMPSent, l)
 }
 
 // Config configures a Router.
@@ -79,14 +98,31 @@ type Config struct {
 	LinkUp func(ifID uint16) bool
 	// Metrics receives counters; nil allocates private ones.
 	Metrics *Metrics
+	// Telemetry receives the router's metric series (the Metrics cells
+	// plus per-interface counters); nil keeps them in a private,
+	// unexposed registry so the hot path never branches on "telemetry
+	// on/off".
+	Telemetry *telemetry.Registry
+	// Trace receives sampled per-packet observations; nil disables
+	// tracing (a nil ring never samples).
+	Trace *telemetry.TraceRing
+	// QueueDelay reports the egress transmit-queue delay for a circuit
+	// (from the local endpoint to the neighbor's), when the transport
+	// models one. Consulted only for sampled (traced) packets; nil
+	// reports no queueing.
+	QueueDelay func(from, to netip.AddrPort) time.Duration
 }
 
 // iface is one external interface: a dedicated underlay socket (as in
-// production border routers, one socket per L2 circuit) plus the remote
-// end's address.
+// production border routers, one socket per L2 circuit), the remote
+// end's address, and the interface's metric cells — resolved once in
+// AddInterface so the forwarding path touches bare atomics only.
 type iface struct {
-	conn   simnet.Conn
-	remote netip.AddrPort
+	conn    simnet.Conn
+	remote  netip.AddrPort
+	fwd     *telemetry.Counter // packets sent out this interface
+	drops   *telemetry.Counter // drops attributed to this egress
+	macFail *telemetry.Counter // MAC failures of packets arriving here
 }
 
 // Router is a border router instance.
@@ -104,6 +140,9 @@ type Router struct {
 	procs sync.Pool
 
 	metrics *Metrics
+	reg     *telemetry.Registry
+	trace   *telemetry.TraceRing
+	iaLabel telemetry.Label
 }
 
 // packetProcessor bundles everything the forwarding pipeline needs per
@@ -129,6 +168,9 @@ func New(cfg Config) (*Router, error) {
 		cfg:     cfg,
 		ifaces:  make(map[uint16]*iface),
 		metrics: cfg.Metrics,
+		reg:     cfg.Telemetry,
+		trace:   cfg.Trace,
+		iaLabel: telemetry.L("ia", cfg.IA.String()),
 	}
 	r.procs.New = func() any {
 		mac, _ := scrypto.NewHopCMAC(cfg.Key) // key validated in New
@@ -137,6 +179,10 @@ func New(cfg Config) (*Router, error) {
 	if r.metrics == nil {
 		r.metrics = &Metrics{}
 	}
+	if r.reg == nil {
+		r.reg = telemetry.NewRegistry()
+	}
+	r.metrics.register(r.reg, cfg.IA)
 	conn, err := cfg.Net.Listen(cfg.LocalAddr, func(pkt []byte, from netip.AddrPort) {
 		r.handle(pkt, 0, originInternal)
 	})
@@ -167,8 +213,17 @@ func (r *Router) AddInterface(ifID uint16) (netip.AddrPort, error) {
 	if err != nil {
 		return netip.AddrPort{}, fmt.Errorf("router %v if %d: %w", r.cfg.IA, ifID, err)
 	}
+	// Resolve the interface's labeled metric cells here, at wire-up —
+	// the hot path only ever touches the resolved atomics.
+	ifl := telemetry.L("ifid", strconv.FormatUint(uint64(ifID), 10))
+	it := &iface{
+		conn:    conn,
+		fwd:     r.reg.Counter("sciera_router_if_forwarded_total", "packets forwarded out an interface", r.iaLabel, ifl),
+		drops:   r.reg.Counter("sciera_router_if_drops_total", "packets dropped at an egress interface", r.iaLabel, ifl),
+		macFail: r.reg.Counter("sciera_router_if_mac_failures_total", "MAC failures of packets arriving on an interface", r.iaLabel, ifl),
+	}
 	r.mu.Lock()
-	r.ifaces[ifID] = &iface{conn: conn}
+	r.ifaces[ifID] = it
 	r.mu.Unlock()
 	return conn.LocalAddr(), nil
 }
@@ -214,6 +269,21 @@ func (r *Router) linkUp(ifID uint16) bool {
 	return r.cfg.LinkUp(ifID)
 }
 
+// tracePacket records one sampled packet observation. Callers guard with
+// r.trace.Sample() so the unsampled majority pays one atomic add and
+// nothing else; a nil ring never samples.
+func (r *Router) tracePacket(verdict telemetry.TraceVerdict, ingress, egress uint16, hop uint8, queue time.Duration) {
+	r.trace.Record(telemetry.TraceEntry{
+		TimeNS:  r.cfg.Net.Now().UnixNano(),
+		IA:      uint64(r.cfg.IA),
+		Ingress: ingress,
+		Egress:  egress,
+		Hop:     hop,
+		Verdict: verdict,
+		QueueNS: int64(queue),
+	})
+}
+
 // handle processes one underlay datagram. raw is owned by this call for
 // its duration (simnet.Handler contract): the fast path mutates it in
 // place and sends it onward before returning.
@@ -223,6 +293,9 @@ func (r *Router) handle(raw []byte, inIf uint16, origin originKind) {
 	defer r.procs.Put(proc)
 	if err := proc.pkt.Decode(raw); err != nil {
 		r.metrics.ParseFailures.Add(1)
+		if r.trace.Sample() {
+			r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+		}
 		return
 	}
 	r.process(proc, &proc.pkt, raw, inIf, origin)
@@ -245,10 +318,13 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 	// Empty path: AS-local delivery only.
 	if pkt.Hdr.Path.IsEmpty() {
 		if pkt.Hdr.DstIA == r.cfg.IA && origin != originExternal {
-			r.deliverLocal(proc, pkt, raw)
+			r.deliverLocal(proc, pkt, raw, inIf)
 			return
 		}
 		r.metrics.NoRouteDrops.Add(1)
+		if r.trace.Sample() {
+			r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, 0, 0)
+		}
 		return
 	}
 
@@ -257,13 +333,20 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 		info, err := pkt.Hdr.Path.CurrentInfo()
 		if err != nil {
 			r.metrics.ParseFailures.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+			}
 			return
 		}
 		hop, err := pkt.Hdr.Path.CurrentHop()
 		if err != nil {
 			r.metrics.ParseFailures.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+			}
 			return
 		}
+		hopIdx := uint8(pkt.Hdr.Path.CurrHF)
 
 		// Ingress check on the first processed hop. Self-originated
 		// packets (SCMP replies on a mid-flight reversed path) skip it:
@@ -275,11 +358,17 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			case originExternal:
 				if wantIn != inIf {
 					r.metrics.IngressDrops.Add(1)
+					if r.trace.Sample() {
+						r.tracePacket(telemetry.VerdictIngressDrop, inIf, 0, hopIdx, 0)
+					}
 					return
 				}
 			case originInternal:
 				if wantIn != 0 {
 					r.metrics.IngressDrops.Add(1)
+					if r.trace.Sample() {
+						r.tracePacket(telemetry.VerdictIngressDrop, inIf, 0, hopIdx, 0)
+					}
 					return
 				}
 			}
@@ -300,6 +389,16 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 		}
 		if !valid {
 			r.metrics.MACFailures.Add(1)
+			if origin == originExternal {
+				r.mu.RLock()
+				if in, ok := r.ifaces[inIf]; ok {
+					in.macFail.Inc()
+				}
+				r.mu.RUnlock()
+			}
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictMACFail, inIf, 0, hopIdx, 0)
+			}
 			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type:    slayers.SCMPParameterProblem,
 				Pointer: uint16(pkt.Hdr.Path.CurrHF),
@@ -316,9 +415,12 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 		egress := spath.DataEgress(info, hop)
 		if pkt.Hdr.Path.IsLastHop() {
 			if egress == 0 && pkt.Hdr.DstIA == r.cfg.IA {
-				r.deliverLocal(proc, pkt, raw)
+				r.deliverLocal(proc, pkt, raw, inIf)
 			} else {
 				r.metrics.NoRouteDrops.Add(1)
+				if r.trace.Sample() {
+					r.tracePacket(telemetry.VerdictNoRoute, inIf, egress, hopIdx, 0)
+				}
 				if egress == 0 {
 					r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 						Type: slayers.SCMPDestinationUnreachable,
@@ -345,6 +447,9 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			// A non-terminal, non-boundary hop without an egress is
 			// malformed.
 			r.metrics.NoRouteDrops.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, hopIdx, 0)
+			}
 			return
 		}
 
@@ -354,6 +459,9 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 		r.mu.RUnlock()
 		if !ok || !out.remote.IsValid() {
 			r.metrics.NoRouteDrops.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictNoRoute, inIf, egress, hopIdx, 0)
+			}
 			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type: slayers.SCMPDestinationUnreachable,
 				Code: slayers.CodeNoRoute,
@@ -362,6 +470,10 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 		}
 		if !r.linkUp(egress) {
 			r.metrics.LinkDownDrops.Add(1)
+			out.drops.Inc()
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictLinkDown, inIf, egress, hopIdx, 0)
+			}
 			r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 				Type: slayers.SCMPExternalInterfaceDown,
 				IA:   addr.IA(r.cfg.IA),
@@ -379,6 +491,16 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			return
 		}
 		r.metrics.Forwarded.Add(1)
+		out.fwd.Inc()
+		if r.trace.Sample() {
+			// Queue delay is only measured for the sampled minority: the
+			// hook reads the transport's per-wire busy horizon.
+			var qd time.Duration
+			if r.cfg.QueueDelay != nil {
+				qd = r.cfg.QueueDelay(out.conn.LocalAddr(), out.remote)
+			}
+			r.tracePacket(telemetry.VerdictForwarded, inIf, egress, hopIdx, qd)
+		}
 		_ = out.conn.Send(wire, out.remote)
 		return
 	}
@@ -408,10 +530,13 @@ func (r *Router) wireImage(proc *packetProcessor, pkt *slayers.Packet, raw []byt
 // deliverLocal hands the packet to the destination end host over the
 // intra-AS underlay: directly to the application's UDP port in
 // dispatcherless mode, or to the shared dispatcher port.
-func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []byte) {
+func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16) {
 	port, ok := r.localPort(pkt)
 	if !ok {
 		r.metrics.NoRouteDrops.Add(1)
+		if r.trace.Sample() {
+			r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, uint8(pkt.Hdr.Path.CurrHF), 0)
+		}
 		r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
 			Type: slayers.SCMPDestinationUnreachable,
 			Code: slayers.CodePortUnreach,
@@ -424,6 +549,9 @@ func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []
 		return
 	}
 	r.metrics.Delivered.Add(1)
+	if r.trace.Sample() {
+		r.tracePacket(telemetry.VerdictDelivered, inIf, 0, uint8(pkt.Hdr.Path.CurrHF), 0)
+	}
 	_ = r.conn.Send(wire, netip.AddrPortFrom(pkt.Hdr.DstHost, port))
 }
 

@@ -8,6 +8,8 @@ import (
 	"slices"
 	"sync"
 	"time"
+
+	"sciera/internal/telemetry"
 )
 
 // LatencyFunc decides delivery for a datagram: the one-way delay and
@@ -43,8 +45,11 @@ type Sim struct {
 	handlers map[netip.AddrPort]Handler
 	nextHost uint32
 	nextPort map[netip.Addr]uint16
-	delivered,
-	dropped uint64
+	// delivered/dropped/inflight are telemetry cells (atomic, so they
+	// are also readable outside s.mu); RegisterTelemetry exposes them.
+	delivered telemetry.Counter
+	dropped   telemetry.Counter
+	inflight  telemetry.Gauge
 	// bcast is the reusable scratch for sorted broadcast fan-out.
 	bcast []netip.AddrPort
 	// evPool recycles packet-delivery events together with their copy
@@ -265,9 +270,10 @@ func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
 		delay, deliver = s.Latency(from, to, len(pkt), s.now)
 	}
 	if !deliver {
-		s.dropped++
+		s.dropped.Inc()
 		return // datagram semantics: loss is silent
 	}
+	s.inflight.Inc()
 	e := s.evPool.Get().(*event)
 	e.at = s.now.Add(delay)
 	e.seq = s.seq
@@ -317,10 +323,11 @@ func (s *Sim) Step() bool {
 		// between send and delivery loses the datagram — counted as
 		// dropped so Stats() conserves datagrams.
 		h := s.handlers[e.to]
+		s.inflight.Dec()
 		if h == nil {
-			s.dropped++
+			s.dropped.Inc()
 		} else {
-			s.delivered++
+			s.delivered.Inc()
 		}
 		s.mu.Unlock()
 		if h != nil {
@@ -381,9 +388,22 @@ func (s *Sim) RunLive(stop <-chan struct{}) {
 // Stats reports delivered and dropped datagram counts. Every datagram
 // accepted by Send is eventually counted exactly once: delivered when a
 // handler received it, dropped when the latency function suppressed it
-// or the destination conn closed before delivery.
+// or the destination conn closed before delivery. The counts are
+// telemetry cells, so the same numbers appear on a registered /metrics
+// endpoint (see RegisterTelemetry).
 func (s *Sim) Stats() (delivered, dropped uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.delivered, s.dropped
+	return s.delivered.Load(), s.dropped.Load()
+}
+
+// InFlight reports the number of datagrams scheduled but not yet
+// delivered (or lost).
+func (s *Sim) InFlight() int64 { return s.inflight.Load() }
+
+// RegisterTelemetry adopts the simulator's conservation counters into a
+// registry: the same cells back Stats() and the exposed series, so the
+// two can never disagree.
+func (s *Sim) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.RegisterCounter("sciera_simnet_delivered_total", "datagrams delivered to a handler", &s.delivered)
+	reg.RegisterCounter("sciera_simnet_dropped_total", "datagrams lost to latency suppression or closed conns", &s.dropped)
+	reg.RegisterGauge("sciera_simnet_inflight", "datagrams scheduled but not yet delivered", &s.inflight)
 }

@@ -26,6 +26,18 @@ func (c *CDF) Add(v ...float64) {
 // Len returns the number of samples.
 func (c *CDF) Len() int { return len(c.samples) }
 
+// Merge folds all of o's samples into c, leaving o unchanged. Merging
+// is exactly equivalent to having Added o's samples to c directly, so
+// per-shard CDFs (one per vantage, per path type, per telemetry dump)
+// can be pooled before computing percentiles.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	c.samples = append(c.samples, o.samples...)
+	c.sorted = false
+}
+
 func (c *CDF) sort() {
 	if !c.sorted {
 		sort.Float64s(c.samples)

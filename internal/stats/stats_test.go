@@ -112,6 +112,67 @@ func TestCDFMonotone(t *testing.T) {
 	}
 }
 
+// Property: merging sharded CDFs is equivalent to pooling the raw
+// samples into one CDF — every percentile and moment agrees. This is
+// the contract that lets experiments aggregate per-vantage shards.
+func TestMergeEqualsPooling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nShards := 1 + rng.Intn(5)
+		var pooled, merged CDF
+		for s := 0; s < nShards; s++ {
+			var shard CDF
+			for i, n := 0, rng.Intn(40); i < n; i++ {
+				v := rng.NormFloat64() * 50
+				shard.Add(v)
+				pooled.Add(v)
+			}
+			// Sort some shards before merging to check that Merge
+			// does not depend on the shard's internal sort state.
+			if s%2 == 0 {
+				shard.Percentile(50)
+			}
+			merged.Merge(&shard)
+		}
+		if merged.Len() != pooled.Len() {
+			t.Fatalf("trial %d: merged %d samples, pooled %d", trial, merged.Len(), pooled.Len())
+		}
+		if merged.Len() == 0 {
+			continue
+		}
+		for p := 0.0; p <= 100; p += 2.5 {
+			if gm, gp := merged.Percentile(p), pooled.Percentile(p); gm != gp {
+				t.Fatalf("trial %d: P%.1f merged %v, pooled %v", trial, p, gm, gp)
+			}
+		}
+		if gm, gp := merged.Mean(), pooled.Mean(); math.Abs(gm-gp) > 1e-9 {
+			t.Fatalf("trial %d: mean merged %v, pooled %v", trial, gm, gp)
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	var c CDF
+	c.Add(1, 2, 3)
+	c.Merge(nil)
+	c.Merge(&CDF{})
+	if c.Len() != 3 || c.Median() != 2 {
+		t.Errorf("after no-op merges: len=%d median=%v", c.Len(), c.Median())
+	}
+	// Merging into a sorted CDF must invalidate the sort.
+	c.Percentile(50)
+	var o CDF
+	o.Add(0)
+	c.Merge(&o)
+	if c.Min() != 0 || c.Len() != 4 {
+		t.Errorf("after merge: min=%v len=%d", c.Min(), c.Len())
+	}
+	// The source is left untouched.
+	if o.Len() != 1 || o.Median() != 0 {
+		t.Errorf("source mutated: len=%d median=%v", o.Len(), o.Median())
+	}
+}
+
 func TestPercentileMatchesSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var c CDF

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (families sorted by name, series by label set).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.counter.Load())
+			case KindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.gauge.Load())
+			case KindHistogram:
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series with cumulative buckets.
+func writeHistogram(w io.Writer, name string, s *series) {
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i, upper := range snap.Upper {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(s.key, "le", fmt.Sprintf("%g", upper)), cum)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(s.key, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, s.key, snap.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, snap.Count)
+}
+
+// withLabel appends one label pair to a rendered label-set string.
+func withLabel(key, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(key, "}") + "," + extra + "}"
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition —
+// mountable on a plain net/http server (the -metrics-addr flag) or on
+// an shttp SCION-native server alike.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// MetricSnapshot is one series frozen at snapshot time.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     float64            `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot is the end-of-run state of a registry, JSON-serializable for
+// the -telemetry-dump flag and consumed by internal/experiments.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+	// Trace holds the packet-trace ring contents when a ring was
+	// attached to the dump (see SnapshotWithTrace).
+	Trace []TraceEntry `json:"trace,omitempty"`
+}
+
+// Snapshot freezes every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			ms := MetricSnapshot{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				ms.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ms.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				ms.Value = float64(s.counter.Load())
+			case KindGauge:
+				ms.Value = float64(s.gauge.Load())
+			case KindHistogram:
+				h := s.hist.Snapshot()
+				ms.Histogram = &h
+			}
+			snap.Metrics = append(snap.Metrics, ms)
+		}
+	}
+	return snap
+}
+
+// SnapshotWithTrace freezes the registry plus a trace ring's contents.
+func (r *Registry) SnapshotWithTrace(ring *TraceRing) Snapshot {
+	snap := r.Snapshot()
+	snap.Trace = ring.Snapshot()
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteJSON — the
+// consuming half of the -telemetry-dump flag.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Total sums every series of a counter or gauge family; histograms
+// contribute their observation counts. Missing families total 0.
+func (s Snapshot) Total(name string) float64 {
+	var sum float64
+	for _, m := range s.Metrics {
+		if m.Name != name {
+			continue
+		}
+		if m.Histogram != nil {
+			sum += float64(m.Histogram.Count)
+			continue
+		}
+		sum += m.Value
+	}
+	return sum
+}
+
+// Value returns the value of the series matching name and all given
+// labels exactly as a subset, and whether one was found. With several
+// matches the first (exposition order) wins.
+func (s Snapshot) Value(name string, labels ...Label) (float64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if m.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the merged histogram snapshot of every series in a
+// family matching the given labels as a subset (per-AS snapshots
+// aggregate into the network-wide view), and whether any matched.
+func (s Snapshot) Histogram(name string, labels ...Label) (HistogramSnapshot, bool) {
+	var out HistogramSnapshot
+	found := false
+	for _, m := range s.Metrics {
+		if m.Name != name || m.Histogram == nil {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if m.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if !found {
+			out = *m.Histogram
+			out.Upper = append([]float64(nil), m.Histogram.Upper...)
+			out.Counts = append([]uint64(nil), m.Histogram.Counts...)
+			found = true
+			continue
+		}
+		_ = out.Merge(*m.Histogram)
+	}
+	return out, found
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: bucket bounds are chosen once
+// at construction and every Observe is a bounded scan plus atomic adds
+// on preallocated cells — no allocation on the observation path, which
+// is what lets the forwarding fast path carry histograms.
+type Histogram struct {
+	// upper holds the ascending bucket upper bounds; counts has one
+	// cell per bound plus a final +Inf overflow cell.
+	upper  []float64
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	total  atomic.Uint64
+}
+
+// DefBuckets is a general-purpose latency bucket layout in
+// milliseconds, spanning metro RTTs to intercontinental tails.
+var DefBuckets = []float64{1, 2.5, 5, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500, 750, 1000}
+
+// NewHistogram creates a histogram with the given upper bounds (sorted
+// and deduplicated; DefBuckets when none are given).
+func NewHistogram(upper ...float64) *Histogram {
+	if len(upper) == 0 {
+		upper = DefBuckets
+	}
+	bounds := append([]float64(nil), upper...)
+	sort.Float64s(bounds)
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{
+		upper:  dedup,
+		counts: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Merge adds o's buckets into h. Both histograms must share the same
+// bucket bounds (per-AS snapshots aggregated into network-wide CDFs all
+// come from the same wire-up).
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.upper) != len(o.upper) {
+		return fmt.Errorf("telemetry: merging histograms with %d and %d buckets", len(h.upper), len(o.upper))
+	}
+	for i, b := range h.upper {
+		if b != o.upper[i] {
+			return fmt.Errorf("telemetry: merging histograms with different bounds (%g vs %g)", b, o.upper[i])
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.total.Add(o.total.Load())
+	addFloat(&h.sum, o.Sum())
+	return nil
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Upper holds the bucket upper bounds; Counts the per-bucket
+	// (non-cumulative) observation counts, with one extra +Inf cell.
+	Upper  []float64 `json:"upper"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Upper:  append([]float64(nil), h.upper...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Merge adds o's buckets into s; bounds must match (see
+// Histogram.Merge).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(s.Upper) != len(o.Upper) {
+		return fmt.Errorf("telemetry: merging snapshots with %d and %d buckets", len(s.Upper), len(o.Upper))
+	}
+	for i, b := range s.Upper {
+		if b != o.Upper[i] {
+			return fmt.Errorf("telemetry: merging snapshots with different bounds (%g vs %g)", b, o.Upper[i])
+		}
+	}
+	for i := range o.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts,
+// interpolating linearly within the located bucket. The overflow bucket
+// reports its lower bound. Returns NaN when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Upper[i-1]
+			}
+			if i >= len(s.Upper) {
+				// Overflow bucket: no upper bound to interpolate to.
+				return lo
+			}
+			hi := s.Upper[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(s.Upper) > 0 {
+		return s.Upper[len(s.Upper)-1]
+	}
+	return math.NaN()
+}
+
+// Mean returns the mean observed value, or NaN when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}

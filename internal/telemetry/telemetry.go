@@ -1,0 +1,292 @@
+// Package telemetry is the process-wide observability substrate of the
+// SCIERA reproduction: atomic counters and gauges, fixed-bucket
+// histograms, labeled metric vectors, a registry with Prometheus-text
+// exposition and JSON snapshots, and a sampled per-packet trace ring
+// buffer.
+//
+// The paper's lessons (dispatcherless migration, certificate renewal,
+// path quality across 11 ASes) were only learnable because the
+// deployment was observable; this package makes the reproduction
+// observable the same way, under one hard constraint inherited from the
+// zero-allocation forwarding fast path (DESIGN.md decision 8): nothing
+// on a packet hot path may allocate.
+//
+// # Hot-path rules
+//
+// Every instrument obeys the same contract:
+//
+//   - Counter.Inc/Add and Gauge.Set/Add are single atomic operations on
+//     a preexisting cell. Cells are plain structs with usable zero
+//     values, so subsystems embed them by value and touch no pointer
+//     indirection beyond their own metrics struct.
+//   - Labeled series are resolved ONCE at wire-up time (With returns the
+//     cell; the router resolves its per-interface cells in
+//     AddInterface, never per packet). With allocates; the returned
+//     cell does not.
+//   - Histogram.Observe is a bounded linear scan over preallocated
+//     buckets plus three atomic operations. No allocation, ever.
+//   - TraceRing.Record writes into a preallocated slot (see trace.go);
+//     sampling makes its amortized cost negligible.
+//
+// Registration, exposition (WritePrometheus, Handler) and Snapshot are
+// cold paths and may allocate freely.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; embed it by value and register it with a Registry at
+// wire-up time (or never — an unregistered cell is just an atomic).
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n and returns the new value.
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement) and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Label is one key=value metric dimension.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates metric families.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one registered (family, label set) pair. Exactly one of the
+// cell pointers is non-nil, matching the family's kind.
+type series struct {
+	labels  []Label // sorted by key
+	key     string  // rendered label string, used for dedup and ordering
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds metric families for one process (or one simulated
+// network — tests and the simulator run several registries side by
+// side, so nothing here is global). All methods are safe for concurrent
+// use; registration is expected at wire-up time, not per packet.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyLocked returns the family, creating it if absent. A kind
+// mismatch on an existing name is a wiring bug and panics (it would
+// silently corrupt exposition otherwise).
+func (r *Registry) familyLocked(name, help string, kind Kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// normalize sorts a copy of the labels and renders the series key.
+func normalize(labels []Label) ([]Label, string) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	if len(ls) == 0 {
+		return ls, ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return ls, b.String()
+}
+
+// Counter returns the counter cell for (name, labels), creating and
+// registering it on first use. Resolve once at wire-up; the returned
+// cell is then a bare atomic.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindCounter)
+	ls, key := normalize(labels)
+	if s, ok := f.byKey[key]; ok {
+		return s.counter
+	}
+	s := &series{labels: ls, key: key, counter: new(Counter)}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s.counter
+}
+
+// Gauge returns the gauge cell for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindGauge)
+	ls, key := normalize(labels)
+	if s, ok := f.byKey[key]; ok {
+		return s.gauge
+	}
+	s := &series{labels: ls, key: key, gauge: new(Gauge)}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s.gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bucket upper bounds on first use (bounds are ignored when
+// the series already exists).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindHistogram)
+	ls, key := normalize(labels)
+	if s, ok := f.byKey[key]; ok {
+		return s.hist
+	}
+	s := &series{labels: ls, key: key, hist: NewHistogram(buckets...)}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s.hist
+}
+
+// RegisterCounter adopts an existing cell (typically a value field of a
+// subsystem's metrics struct) under (name, labels). If the series
+// already exists the existing cell is kept and false is returned.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindCounter)
+	ls, key := normalize(labels)
+	if _, ok := f.byKey[key]; ok {
+		return false
+	}
+	s := &series{labels: ls, key: key, counter: c}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return true
+}
+
+// RegisterGauge adopts an existing gauge cell; see RegisterCounter.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindGauge)
+	ls, key := normalize(labels)
+	if _, ok := f.byKey[key]; ok {
+		return false
+	}
+	s := &series{labels: ls, key: key, gauge: g}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return true
+}
+
+// RegisterHistogram adopts an existing histogram; see RegisterCounter.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindHistogram)
+	ls, key := normalize(labels)
+	if _, ok := f.byKey[key]; ok {
+		return false
+	}
+	s := &series{labels: ls, key: key, hist: h}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return true
+}
+
+// sortedFamilies returns families and their series in exposition order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	}
+	return fams
+}
+
+// addFloat atomically adds v to the float64 stored as bits in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
