@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard verify bench reference
+.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign reference
 
 all: build
 
@@ -30,13 +30,21 @@ fmt-check:
 # The allocation guards skip under -race (its instrumentation
 # allocates), so verify runs them separately without it.
 alloc-guard:
-	$(GO) test -count=1 -run ZeroAlloc .
+	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet
 
 verify: build race alloc-guard vet fmt-check
 	@echo "verify: OK"
 
-bench:
-	$(GO) test -run xxx -bench . -benchmem .
+bench: bench-micro bench-campaign
+
+bench-micro:
+	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator
+
+# Times the full-scale measurement campaign at one worker and at
+# NumCPU workers, checks the figure outputs are byte-identical, and
+# refreshes BENCH_campaign.json.
+bench-campaign:
+	$(GO) run ./cmd/campaignbench -out BENCH_campaign.json
 
 # Regenerates the committed reference run; diff must be empty.
 reference:

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// userCPUSeconds is unavailable off unix; the report's wall times still
+// stand on their own.
+func userCPUSeconds() float64 { return 0 }

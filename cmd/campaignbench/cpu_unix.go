@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// userCPUSeconds reads the process's cumulative user CPU time. The
+// campaign runs single-process, so the delta across a run is the total
+// compute the workers burned regardless of how it spread over cores.
+func userCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6
+}

@@ -1,0 +1,114 @@
+// Command campaignbench times the Section 5.4 measurement campaign at
+// one worker and at N workers (default runtime.NumCPU()), verifies the
+// two runs render byte-identical figures, and records the timings as
+// JSON. The Makefile bench target uses it to maintain
+// BENCH_campaign.json.
+//
+// Wall-clock speedup is bounded by the host's core count; the
+// user-CPU-seconds column shows whether the total work stayed flat
+// across worker counts (it must — sharding repartitions the campaign,
+// it does not add work), which is what makes wall ≈ single/N on an
+// N-core host.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sciera/internal/experiments"
+)
+
+type runResult struct {
+	Workers        int     `json:"workers"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	UserCPUSeconds float64 `json:"user_cpu_seconds"`
+	OutputBytes    int     `json:"output_bytes"`
+}
+
+type report struct {
+	Timestamp     string      `json:"timestamp"`
+	HostCPUs      int         `json:"host_cpus"`
+	Seed          int64       `json:"seed"`
+	Quick         bool        `json:"quick"`
+	Runs          []runResult `json:"runs"`
+	ByteIdentical bool        `json:"byte_identical"`
+	WallSpeedup   float64     `json:"wall_speedup"`
+	Note          string      `json:"note,omitempty"`
+}
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "campaign seed")
+		quick   = flag.Bool("quick", false, "reduced-scale campaign")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker count for the parallel run")
+		out     = flag.String("out", "BENCH_campaign.json", "write the JSON report here")
+	)
+	flag.Parse()
+
+	run := func(w int) (string, runResult, error) {
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: w}
+		var buf bytes.Buffer
+		cpu0 := userCPUSeconds()
+		t0 := time.Now()
+		err := experiments.RunCampaignFigures(&buf, cfg)
+		r := runResult{
+			Workers:        w,
+			WallSeconds:    round2(time.Since(t0).Seconds()),
+			UserCPUSeconds: round2(userCPUSeconds() - cpu0),
+			OutputBytes:    buf.Len(),
+		}
+		return buf.String(), r, err
+	}
+
+	fmt.Fprintf(os.Stderr, "campaignbench: seed=%d quick=%v host_cpus=%d\n", *seed, *quick, runtime.NumCPU())
+	single, r1, err := run(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: workers=1:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: workers=1: wall %.2fs, user cpu %.2fs\n", r1.WallSeconds, r1.UserCPUSeconds)
+	par, rn, err := run(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignbench: workers=%d: %v\n", *workers, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: workers=%d: wall %.2fs, user cpu %.2fs\n", *workers, rn.WallSeconds, rn.UserCPUSeconds)
+
+	rep := report{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:      runtime.NumCPU(),
+		Seed:          *seed,
+		Quick:         *quick,
+		Runs:          []runResult{r1, rn},
+		ByteIdentical: single == par,
+		WallSpeedup:   round2(r1.WallSeconds / rn.WallSeconds),
+	}
+	if rep.HostCPUs < *workers {
+		rep.Note = fmt.Sprintf("host has %d CPU(s): wall speedup is core-bound; flat user_cpu_seconds across runs shows the shards partition the work without overhead", rep.HostCPUs)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+		os.Exit(1)
+	}
+	if !rep.ByteIdentical {
+		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: workers=%d output differs from workers=1 (%d vs %d bytes)\n",
+			*workers, rn.OutputBytes, r1.OutputBytes)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: outputs byte-identical; wall speedup %.2fx; report in %s\n",
+		rep.WallSpeedup, *out)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -7,6 +7,8 @@
 //	experiments -run fig5         # one experiment
 //	experiments -quick -run fig6  # reduced scale for a fast look
 //	experiments -list             # list experiment names
+//	experiments -all -workers 4   # shard the campaign across 4 workers
+//	                              # (same bytes out, less wall clock)
 //	experiments -all -telemetry t.json   # also dump the campaign's telemetry
 //	experiments -telemetry-report t.json # digest dump file(s) instead
 package main
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sciera/internal/experiments"
@@ -23,17 +26,18 @@ import (
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "run every experiment")
-		run   = flag.String("run", "", "run one experiment by name")
-		quick = flag.Bool("quick", false, "reduced scale (shorter campaign, fewer runs)")
-		seed  = flag.Int64("seed", 42, "random seed (fixed seeds reproduce EXPERIMENTS.md)")
-		list  = flag.Bool("list", false, "list experiment names")
-		telem = flag.String("telemetry", "", "write the campaign's telemetry snapshot as JSON to this file")
-		rep   = flag.String("telemetry-report", "", "print a report from telemetry dump file(s), comma-separated")
+		all     = flag.Bool("all", false, "run every experiment")
+		run     = flag.String("run", "", "run one experiment by name")
+		quick   = flag.Bool("quick", false, "reduced scale (shorter campaign, fewer runs)")
+		seed    = flag.Int64("seed", 42, "random seed (fixed seeds reproduce EXPERIMENTS.md)")
+		list    = flag.Bool("list", false, "list experiment names")
+		telem   = flag.String("telemetry", "", "write the campaign's telemetry snapshot as JSON to this file")
+		rep     = flag.String("telemetry-report", "", "print a report from telemetry dump file(s), comma-separated")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (output is byte-identical for any count)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, TelemetryPath: *telem}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, TelemetryPath: *telem, Workers: *workers}
 	switch {
 	case *rep != "":
 		var snaps []telemetry.Snapshot

@@ -152,7 +152,26 @@ func (ia IA) ISD() ISD { return ISD(ia >> ASBits) }
 func (ia IA) AS() AS { return AS(ia) & MaxAS }
 
 func (ia IA) String() string {
-	return ia.ISD().String() + "-" + ia.AS().String()
+	return string(ia.AppendTo(nil))
+}
+
+// AppendTo appends the canonical "<isd>-<as>" rendering of ia to b and
+// returns the extended slice — the allocation-free building block for
+// callers that assemble many IA strings (path fingerprints render one
+// per interface crossing on every path combination). The bytes are
+// exactly what String returns.
+func (ia IA) AppendTo(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(ia.ISD()), 10)
+	b = append(b, '-')
+	as := ia.AS()
+	if as <= MaxBGPAS {
+		return strconv.AppendUint(b, uint64(as), 10)
+	}
+	b = strconv.AppendUint(b, uint64(as>>32)&0xffff, 16)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(as>>16)&0xffff, 16)
+	b = append(b, ':')
+	return strconv.AppendUint(b, uint64(as)&0xffff, 16)
 }
 
 // IsZero reports whether the IA is the zero value.

@@ -2,6 +2,7 @@ package addr
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"testing"
@@ -103,6 +104,35 @@ func TestIARoundTrip(t *testing.T) {
 		if err != nil || got != ia {
 			t.Fatalf("round trip %v: got %v, err %v", ia, got, err)
 		}
+	}
+}
+
+func TestIAAppendTo(t *testing.T) {
+	// AppendTo is the allocation-free building block behind String (and
+	// path fingerprints, where the bytes are a sort key): pin it to the
+	// legacy fmt-based rendering for both AS notations.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		ia := MustIA(ISD(rng.Intn(1<<16)), AS(rng.Int63())&MaxAS)
+		as := ia.AS()
+		var want string
+		if as <= MaxBGPAS {
+			want = fmt.Sprintf("%d-%d", ia.ISD(), uint64(as))
+		} else {
+			want = fmt.Sprintf("%d-%x:%x:%x", ia.ISD(),
+				uint16(as>>32), uint16(as>>16), uint16(as))
+		}
+		if got := string(ia.AppendTo(nil)); got != want {
+			t.Fatalf("AppendTo(%#x) = %q, want %q", uint64(ia), got, want)
+		}
+		if got := ia.String(); got != want {
+			t.Fatalf("String(%#x) = %q, want %q", uint64(ia), got, want)
+		}
+	}
+	// Appending extends the given slice in place.
+	b := MustParseIA("71-2:0:3b").AppendTo([]byte("x:"))
+	if string(b) != "x:71-2:0:3b" {
+		t.Fatalf("prefix append = %q", b)
 	}
 }
 

@@ -10,6 +10,7 @@ package combinator
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"sciera/internal/addr"
@@ -370,15 +371,24 @@ func asSequence(dirs []direction) []addr.IA {
 	return out
 }
 
+// fingerprint renders the interface sequence as the path's identity
+// string. The format is exactly the historical "<ia>#<ifid>>" chain —
+// it is a tiebreak in Combine's sort order, so the bytes must stay
+// stable — but built with a single allocation instead of fmt formatting
+// and string concatenation per interface: this runs for every candidate
+// path of every lookup in every campaign worker.
 func fingerprint(ifs []PathInterface) string {
-	s := ""
-	for _, i := range ifs {
-		s += i.String() + ">"
-	}
-	if s == "" {
+	if len(ifs) == 0 {
 		return "direct"
 	}
-	return s
+	b := make([]byte, 0, 24*len(ifs))
+	for _, i := range ifs {
+		b = i.IA.AppendTo(b)
+		b = append(b, '#')
+		b = strconv.AppendUint(b, uint64(i.IfID), 10)
+		b = append(b, '>')
+	}
+	return string(b)
 }
 
 // Reversed returns the same path usable from dst back to src (hop fields

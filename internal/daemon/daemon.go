@@ -48,10 +48,15 @@ type Daemon struct {
 	mu    sync.Mutex
 	trcs  *cppki.Store
 	cache map[addr.IA]cacheEntry
+	// inflight coalesces concurrent lookups for the same destination
+	// into one control-service fetch: the first caller owns the fetch,
+	// later callers park their callbacks here and are answered when it
+	// resolves (singleflight).
+	inflight map[addr.IA][]func([]*combinator.Path, error)
 
-	// lookups/hits are telemetry cells so Stats() and a registered
-	// /metrics endpoint read the same numbers.
-	lookups, hits telemetry.Counter
+	// lookups/hits/coalesced are telemetry cells so Stats() and a
+	// registered /metrics endpoint read the same numbers.
+	lookups, hits, coalesced telemetry.Counter
 }
 
 // RegisterTelemetry adopts the daemon's counters into a registry,
@@ -60,6 +65,7 @@ func (d *Daemon) RegisterTelemetry(reg *telemetry.Registry) {
 	l := telemetry.L("ia", d.info.LocalIA.String())
 	reg.RegisterCounter("sciera_daemon_lookups_total", "path lookups served by the daemon", &d.lookups, l)
 	reg.RegisterCounter("sciera_daemon_cache_hits_total", "path lookups answered from the daemon cache", &d.hits, l)
+	reg.RegisterCounter("sciera_daemon_lookups_coalesced_total", "path lookups coalesced onto an already in-flight fetch", &d.coalesced, l)
 }
 
 type cacheEntry struct {
@@ -80,6 +86,7 @@ func New(net simnet.Network, info Info, clientAddr netip.AddrPort) (*Daemon, err
 		CacheTTL: time.Minute,
 		trcs:     cppki.NewStore(),
 		cache:    make(map[addr.IA]cacheEntry),
+		inflight: make(map[addr.IA][]func([]*combinator.Path, error)),
 	}, nil
 }
 
@@ -101,7 +108,10 @@ func (d *Daemon) Stats() (lookups, hits uint64) {
 }
 
 // PathsAsync resolves paths to dst, from cache when fresh, otherwise by
-// querying the control service and combining segments. The callback is
+// querying the control service and combining segments. Concurrent
+// lookups for the same destination coalesce onto one in-flight fetch
+// (singleflight): only the first caller queries the control service,
+// the rest are answered from its result when it lands. The callback is
 // invoked exactly once.
 func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 	now := d.net.Now()
@@ -114,36 +124,44 @@ func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 		cb(paths, nil)
 		return
 	}
-	d.mu.Unlock()
-
 	if dst == d.info.LocalIA {
 		// AS-internal: the empty path.
+		d.mu.Unlock()
 		cb([]*combinator.Path{{Src: dst, Dst: dst, Fingerprint: "empty"}}, nil)
 		return
 	}
+	if waiters, ok := d.inflight[dst]; ok {
+		// A fetch for dst is already on the wire: park the callback.
+		d.coalesced.Inc()
+		d.inflight[dst] = append(waiters, cb)
+		d.mu.Unlock()
+		return
+	}
+	d.inflight[dst] = append(make([]func([]*combinator.Path, error), 0, 1), cb)
+	d.mu.Unlock()
 
 	d.cli.Do(&control.Request{Type: "paths", Dst: dst}, func(resp *control.Response, err error) {
 		if err != nil {
-			cb(nil, err)
+			d.finishLookup(dst, nil, err, false)
 			return
 		}
 		if resp.Error != "" {
-			cb(nil, fmt.Errorf("daemon: control service: %s", resp.Error))
+			d.finishLookup(dst, nil, fmt.Errorf("daemon: control service: %s", resp.Error), false)
 			return
 		}
 		ups, err := control.DecodeSegments(resp.Ups)
 		if err != nil {
-			cb(nil, err)
+			d.finishLookup(dst, nil, err, false)
 			return
 		}
 		cores, err := control.DecodeSegments(resp.Cores)
 		if err != nil {
-			cb(nil, err)
+			d.finishLookup(dst, nil, err, false)
 			return
 		}
 		downs, err := control.DecodeSegments(resp.Downs)
 		if err != nil {
-			cb(nil, err)
+			d.finishLookup(dst, nil, err, false)
 			return
 		}
 		paths := combinator.Combine(d.info.LocalIA, dst, ups, cores, downs)
@@ -155,12 +173,24 @@ func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 				fresh = append(fresh, p)
 			}
 		}
-		paths = fresh
-		d.mu.Lock()
-		d.cache[dst] = cacheEntry{paths: paths, expires: now.Add(d.CacheTTL)}
-		d.mu.Unlock()
-		cb(paths, nil)
+		d.finishLookup(dst, fresh, nil, true)
 	})
+}
+
+// finishLookup resolves a singleflight fetch: caches the result when it
+// succeeded, then answers the owning caller and every coalesced waiter.
+// Callbacks run outside d.mu (they may re-enter PathsAsync).
+func (d *Daemon) finishLookup(dst addr.IA, paths []*combinator.Path, err error, cacheIt bool) {
+	d.mu.Lock()
+	if cacheIt {
+		d.cache[dst] = cacheEntry{paths: paths, expires: d.net.Now().Add(d.CacheTTL)}
+	}
+	waiters := d.inflight[dst]
+	delete(d.inflight, dst)
+	d.mu.Unlock()
+	for _, w := range waiters {
+		w(paths, err)
+	}
 }
 
 // Paths is the blocking variant of PathsAsync (see control.Client.DoSync

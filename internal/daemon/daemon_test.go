@@ -104,6 +104,81 @@ func TestPathsLookupAndCache(t *testing.T) {
 	}
 }
 
+func TestLookupCoalescing(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, err := n.NewDaemon(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Fire several lookups for the same destination before the simulator
+	// runs: the first owns the control-service fetch, the rest must park
+	// on it (singleflight) and still each get their callback exactly
+	// once when the fetch lands.
+	const concurrent = 5
+	calls := make([]int, concurrent)
+	var got [][]*combinator.Path
+	for i := 0; i < concurrent; i++ {
+		i := i
+		d.PathsAsync(lB, func(p []*combinator.Path, err error) {
+			if err != nil {
+				t.Errorf("lookup %d: %v", i, err)
+			}
+			calls[i]++
+			got = append(got, p)
+		})
+	}
+	sim.RunFor(10 * time.Second)
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("callback %d invoked %d times, want 1", i, c)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if len(got[i]) != len(got[0]) {
+			t.Errorf("waiter %d got %d paths, owner got %d", i, len(got[i]), len(got[0]))
+		}
+	}
+	snap := n.Telemetry().Snapshot()
+	if v := snap.Total("sciera_daemon_lookups_coalesced_total"); v != concurrent-1 {
+		t.Errorf("coalesced counter = %v, want %d", v, concurrent-1)
+	}
+	// All concurrent callers count as lookups, but only one control
+	// request went out — a cache-fresh follow-up proves the result was
+	// cached once.
+	if lookups, hits := d.Stats(); lookups != concurrent || hits != 0 {
+		t.Errorf("stats = %d lookups, %d hits", lookups, hits)
+	}
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	if _, hits := d.Stats(); hits != 1 {
+		t.Errorf("follow-up was not a cache hit (%d hits)", hits)
+	}
+
+	// Pathless results resolve every coalesced waiter too.
+	bogus := addr.MustParseIA("99-999")
+	resolved := 0
+	for i := 0; i < 3; i++ {
+		d.PathsAsync(bogus, func(p []*combinator.Path, err error) {
+			if len(p) != 0 {
+				t.Errorf("unknown AS returned %d paths", len(p))
+			}
+			resolved++
+		})
+	}
+	sim.RunFor(10 * time.Second)
+	if resolved != 3 {
+		t.Errorf("pathless lookups resolved = %d, want 3", resolved)
+	}
+	if v := n.Telemetry().Snapshot().Total("sciera_daemon_lookups_coalesced_total"); v != concurrent-1+2 {
+		t.Errorf("coalesced counter after error round = %v, want %d", v, concurrent-1+2)
+	}
+}
+
 func TestCacheExpiresWithTTL(t *testing.T) {
 	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
 	n := buildNet(t, sim, core.Options{Seed: 1})

@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"sciera/internal/addr"
@@ -29,8 +28,16 @@ type Config struct {
 	// TelemetryPath, when set, writes the measurement campaign's final
 	// telemetry snapshot (with trace ring) as JSON to this file — the
 	// -telemetry flag of cmd/experiments. The figure output on w is
-	// unaffected.
+	// unaffected. With Workers > 1 the per-worker registries are merged
+	// (counters sum, histograms pool) before writing.
 	TelemetryPath string
+	// Workers shards the measurement campaign across N parallel
+	// workers, each running its slice of the vantage pairs on a private
+	// deterministically-seeded network replica; partial datasets merge
+	// in canonical order, so the result — and every figure derived from
+	// it — is byte-identical for any worker count (see DESIGN.md,
+	// "parallel campaign execution"). 0 or 1 runs single-worker.
+	Workers int
 }
 
 // CampaignScale returns the measurement campaign parameters.
@@ -63,23 +70,18 @@ func BuildNetwork(seed int64) (*core.Network, *simnet.Sim, error) {
 	return n, sim, nil
 }
 
-// RunCampaign executes the Section 5.4 measurement campaign, replaying
-// the incident calendar, and returns the dataset shared by Figures 5-9
-// and 10a.
-func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
+// buildCampaignNetwork constructs one campaign-ready network replica:
+// the seeded SCIERA network plus the incident calendar (disclosed
+// outages/flaps and the links activated mid-campaign, built into the
+// topology but held down until their activation time). Every campaign
+// worker calls this with the same seed and therefore owns an identical
+// replica — topology, beaconing and path state are seed-reproducible,
+// which is what makes pair-sharding exact.
+func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
 	n, _, err := BuildNetwork(cfg.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	ipTopo, err := sciera.BuildIPPlane()
-	if err != nil {
-		return nil, nil, err
-	}
-	duration, interval, vantage := cfg.campaign()
-
-	// Incident calendar: the disclosed outages/flaps plus the links
-	// activated mid-campaign (built into the topology but held down
-	// until their activation time).
 	var events []multiping.IncidentEvent
 	resolve := func(name string) (int, bool) { return sciera.LinkIDByName(n.Topo, name) }
 	incs := sciera.Incidents()
@@ -124,43 +126,30 @@ func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
 	if err := n.RefreshControlPlane(); err != nil {
 		return nil, nil, err
 	}
+	return n, events, nil
+}
 
-	camp, err := multiping.NewCampaign(n, multiping.Config{
+// RunCampaign executes the Section 5.4 measurement campaign, replaying
+// the incident calendar, and returns the dataset shared by Figures 5-9
+// and 10a. With cfg.Workers > 1 the campaign's vantage pairs are
+// sharded across parallel workers (see shard.go); the merged dataset is
+// byte-identical to a single-worker run. The returned network is one
+// campaign replica in its post-campaign state (the caller closes it).
+func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
+	duration, interval, vantage := cfg.campaign()
+	ipTopo, err := sciera.BuildIPPlane()
+	if err != nil {
+		return nil, nil, err
+	}
+	campaignCfg := multiping.Config{
 		Vantage:    vantage,
 		Interval:   interval,
 		Duration:   duration,
-		Incidents:  events,
 		IPRTT:      func(src, dst addr.IA) float64 { return sciera.IPRTTms(ipTopo, src, dst) },
 		StallModel: true,
 		Seed:       cfg.Seed,
-	})
-	if err != nil {
-		return nil, nil, err
 	}
-	defer camp.Close()
-	ds, err := camp.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	if cfg.TelemetryPath != "" {
-		if err := dumpTelemetry(n, cfg.TelemetryPath); err != nil {
-			return nil, nil, err
-		}
-	}
-	return ds, n, nil
-}
-
-// dumpTelemetry writes the network's end-of-run snapshot as JSON.
-func dumpTelemetry(n *core.Network, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := n.TelemetrySnapshot().WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return runShardedCampaign(cfg, campaignCfg)
 }
 
 // section prints an experiment header.

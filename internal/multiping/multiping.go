@@ -14,6 +14,7 @@ package multiping
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"sciera/internal/addr"
@@ -55,6 +56,11 @@ type Record struct {
 	T   time.Duration `json:"t"`
 	Src addr.IA       `json:"src"`
 	Dst addr.IA       `json:"dst"`
+	// Seq is the pair's index in the canonical full-campaign pair
+	// enumeration (vantage-major, target-minor). Together with T it
+	// totally orders records, which is what lets shard-partial datasets
+	// merge back into the exact single-worker record sequence.
+	Seq uint64 `json:"seq"`
 
 	// SCION side: minimum RTT across the three paths, the winning
 	// path's type, and how many of the three probes succeeded.
@@ -75,12 +81,47 @@ type Record struct {
 	IPMissing bool    `json:"ip_missing"`
 }
 
+// ProbePair selects one ordered (src, dst) pair for probing. Index is
+// the pair's position in the canonical full-campaign enumeration
+// (vantage-major, target-minor; see AllPairs) and becomes the Seq of
+// every record the pair emits — shard-aware sequence numbering, so a
+// campaign split across workers merges back in canonical order.
+type ProbePair struct {
+	Src, Dst addr.IA
+	Index    int
+}
+
+// AllPairs enumerates the canonical probe-pair order of a campaign:
+// vantage-major, target-minor, self-pairs skipped. Shard planners
+// partition this list; Index survives the partitioning.
+func AllPairs(vantage, targets []addr.IA) []ProbePair {
+	if len(targets) == 0 {
+		targets = vantage
+	}
+	out := make([]ProbePair, 0, len(vantage)*len(targets))
+	for _, src := range vantage {
+		for _, dst := range targets {
+			if src == dst {
+				continue
+			}
+			out = append(out, ProbePair{Src: src, Dst: dst, Index: len(out)})
+		}
+	}
+	return out
+}
+
 // Config parameterizes a campaign.
 type Config struct {
 	// Vantage ASes run the tool; Targets are pinged (default: vantage
 	// set itself).
 	Vantage []addr.IA
 	Targets []addr.IA
+	// Pairs restricts the campaign to a subset of the canonical pair
+	// enumeration — one shard of a partitioned campaign. Nil probes
+	// every (vantage, target) pair. Pairs must carry the Index values
+	// AllPairs assigned over the full vantage/target sets, or merged
+	// shard datasets will not reproduce the unsharded record order.
+	Pairs []ProbePair
 	// Interval between measurement rounds (the tool pings at 1 Hz and
 	// aggregates per minute; one round per interval samples the same
 	// distribution).
@@ -156,7 +197,7 @@ func BuildEvents(topo *topology.Topology, resolve func(name string) (int, bool),
 	return out, nil
 }
 
-// Dataset is a completed campaign.
+// Dataset is a completed campaign (or one shard of a partitioned one).
 type Dataset struct {
 	Records []Record
 	// PathCounts holds every full-probe path count observation.
@@ -165,14 +206,45 @@ type Dataset struct {
 	Probes uint64
 }
 
+// Merge folds o's measurements into d and restores the canonical
+// (T, Seq) order, leaving o unchanged. Because every record carries the
+// pair's canonical sequence number and each (round, pair) emits at most
+// one record, the merged dataset is byte-identical no matter how the
+// campaign was partitioned or in which order the partials arrive —
+// the dataset-level analogue of stats.CDF.Merge's merge==pooling
+// property. In particular, merging the shards of an N-worker campaign
+// reproduces the single-worker dataset exactly.
+func (d *Dataset) Merge(o *Dataset) {
+	if o == nil {
+		return
+	}
+	d.Records = append(d.Records, o.Records...)
+	d.PathCounts = append(d.PathCounts, o.PathCounts...)
+	d.Probes += o.Probes
+	sort.Slice(d.Records, func(i, j int) bool {
+		if d.Records[i].T != d.Records[j].T {
+			return d.Records[i].T < d.Records[j].T
+		}
+		return d.Records[i].Seq < d.Records[j].Seq
+	})
+	sort.Slice(d.PathCounts, func(i, j int) bool {
+		if d.PathCounts[i].T != d.PathCounts[j].T {
+			return d.PathCounts[i].T < d.PathCounts[j].T
+		}
+		return d.PathCounts[i].Seq < d.PathCounts[j].Seq
+	})
+}
+
 // PathCountSample is one full-probe observation: the active path count
 // and the two lowest path RTT estimates (for the Figure 10a latency
 // inflation metric d2/d1).
 type PathCountSample struct {
-	T     time.Duration `json:"t"`
-	Src   addr.IA       `json:"src"`
-	Dst   addr.IA       `json:"dst"`
-	Count int           `json:"count"`
+	T   time.Duration `json:"t"`
+	Src addr.IA       `json:"src"`
+	Dst addr.IA       `json:"dst"`
+	// Seq is the pair's canonical enumeration index (see Record.Seq).
+	Seq   uint64 `json:"seq"`
+	Count int    `json:"count"`
 	// BestMS and SecondMS are the two lowest RTTs over the active
 	// paths at probe time (-1 when fewer than 1/2 paths exist).
 	BestMS   float64 `json:"best_ms"`
@@ -196,8 +268,11 @@ type Campaign struct {
 	sim        *simnet.Sim
 	pingers    map[addr.IA]*scmp.Pinger
 	responders map[addr.IA]*scmp.Responder
-	pairs      map[[2]addr.IA]*pairState
-	data       *Dataset
+	// pairList is the campaign's probe pairs in canonical order (the
+	// full enumeration, or this worker's shard of it).
+	pairList []ProbePair
+	pairs    map[[2]addr.IA]*pairState
+	data     *Dataset
 
 	// Telemetry cells, resolved once at campaign setup (per probe path
 	// type, so the RTT distributions of shortest/fastest/disjoint are
@@ -219,6 +294,10 @@ func NewCampaign(n *core.Network, cfg Config) (*Campaign, error) {
 	if len(cfg.Targets) == 0 {
 		cfg.Targets = cfg.Vantage
 	}
+	pairList := cfg.Pairs
+	if pairList == nil {
+		pairList = AllPairs(cfg.Vantage, cfg.Targets)
+	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Minute
 	}
@@ -231,6 +310,7 @@ func NewCampaign(n *core.Network, cfg Config) (*Campaign, error) {
 		sim:        sim,
 		pingers:    make(map[addr.IA]*scmp.Pinger),
 		responders: make(map[addr.IA]*scmp.Responder),
+		pairList:   pairList,
 		pairs:      make(map[[2]addr.IA]*pairState),
 		data:       &Dataset{},
 	}
@@ -246,30 +326,25 @@ func NewCampaign(n *core.Network, cfg Config) (*Campaign, error) {
 		c.lost[pt] = reg.Counter("sciera_multiping_lost_total", "failed SCMP probes per probe path type", l)
 	}
 	c.probes = reg.Counter("sciera_multiping_probes_total", "SCMP echo probes sent")
-	for _, ia := range cfg.Vantage {
-		p, err := n.NewPinger(ia)
-		if err != nil {
-			return nil, err
-		}
-		c.pingers[ia] = p
-	}
-	for _, ia := range cfg.Targets {
-		if _, ok := c.responders[ia]; ok {
-			continue
-		}
-		r, err := n.AttachResponder(ia)
-		if err != nil {
-			return nil, err
-		}
-		c.responders[ia] = r
-	}
-	for _, src := range cfg.Vantage {
-		for _, dst := range cfg.Targets {
-			if src == dst {
-				continue
+	// Pingers and responders only for the ASes this campaign's pair
+	// list actually touches: a shard worker sets up its own ASes, not
+	// the whole vantage set.
+	for _, pr := range pairList {
+		if _, ok := c.pingers[pr.Src]; !ok {
+			p, err := n.NewPinger(pr.Src)
+			if err != nil {
+				return nil, err
 			}
-			c.pairs[[2]addr.IA{src, dst}] = &pairState{rtts: pan.NewRTTRecorder(), dirty: true}
+			c.pingers[pr.Src] = p
 		}
+		if _, ok := c.responders[pr.Dst]; !ok {
+			r, err := n.AttachResponder(pr.Dst)
+			if err != nil {
+				return nil, err
+			}
+			c.responders[pr.Dst] = r
+		}
+		c.pairs[[2]addr.IA{pr.Src, pr.Dst}] = &pairState{rtts: pan.NewRTTRecorder(), dirty: true}
 	}
 	return c, nil
 }
@@ -315,77 +390,73 @@ func (c *Campaign) Run() (*Dataset, error) {
 
 // round performs one measurement interval.
 func (c *Campaign) round(t time.Duration) {
-	for _, src := range c.Cfg.Vantage {
+	for _, pr := range c.pairList {
+		src, dst := pr.Src, pr.Dst
 		stalled := c.stalledNow(src, t)
-		for _, dst := range c.Cfg.Targets {
-			if src == dst {
+		st := c.pairs[[2]addr.IA{src, dst}]
+		// Full path probe when dirty or after failures (the tool's
+		// trigger: two or more failed pings).
+		if st.dirty || st.failsLast >= 2 {
+			c.fullProbe(t, pr, st)
+		}
+		rec := Record{
+			T: t, Src: src, Dst: dst, Seq: uint64(pr.Index),
+			SCIONRTTms:  -1,
+			RTTms:       [3]float64{-1, -1, -1},
+			ActivePaths: len(st.paths),
+			IPRTTms:     c.Cfg.IPRTT(src, dst),
+			IPMissing:   stalled,
+		}
+		fails := 0
+		for pt := Shortest; pt < numPathTypes; pt++ {
+			path := st.probe[pt]
+			if path == nil {
+				fails++
 				continue
 			}
-			key := [2]addr.IA{src, dst}
-			st := c.pairs[key]
-			// Full path probe when dirty or after failures (the
-			// tool's trigger: two or more failed pings).
-			if st.dirty || st.failsLast >= 2 {
-				c.fullProbe(t, src, dst, st)
-			}
-			rec := Record{
-				T: t, Src: src, Dst: dst,
-				SCIONRTTms:  -1,
-				RTTms:       [3]float64{-1, -1, -1},
-				ActivePaths: len(st.paths),
-				IPRTTms:     c.Cfg.IPRTT(src, dst),
-				IPMissing:   stalled,
-			}
-			fails := 0
-			for pt := Shortest; pt < numPathTypes; pt++ {
-				path := st.probe[pt]
-				if path == nil {
-					fails++
-					continue
-				}
-				ptCopy := pt
-				fp := path.Fingerprint
-				c.data.Probes++
-				c.probes.Inc()
-				c.pingers[src].Ping(dst, c.responders[dst].Addr().Addr(), path, c.Cfg.PingTimeout,
-					func(rtt time.Duration, err error) {
-						if err != nil {
-							st.failsLast++
-							c.lost[ptCopy].Inc()
-							return
-						}
-						ms := float64(rtt) / float64(time.Millisecond)
-						c.rttHist[ptCopy].Observe(ms)
-						st.rtts.Observe(fp, rtt)
-						rec.RTTms[ptCopy] = ms
-						if rec.SCIONRTTms < 0 || ms < rec.SCIONRTTms {
-							rec.SCIONRTTms = ms
-							rec.BestPath = ptCopy
-						}
-						rec.SCIONOK++
-					})
-			}
-			st.failsLast = fails
-			// Finalize the record once all probes resolved (after the
-			// interval's events drain); schedule just before interval
-			// end.
-			recPtr := &rec
-			stRef := st
-			c.sim.AfterFunc(c.Cfg.Interval-time.Millisecond, func() {
-				_ = stRef
-				c.data.Records = append(c.data.Records, *recPtr)
-			})
+			ptCopy := pt
+			fp := path.Fingerprint
+			c.data.Probes++
+			c.probes.Inc()
+			c.pingers[src].Ping(dst, c.responders[dst].Addr().Addr(), path, c.Cfg.PingTimeout,
+				func(rtt time.Duration, err error) {
+					if err != nil {
+						st.failsLast++
+						c.lost[ptCopy].Inc()
+						return
+					}
+					ms := float64(rtt) / float64(time.Millisecond)
+					c.rttHist[ptCopy].Observe(ms)
+					st.rtts.Observe(fp, rtt)
+					rec.RTTms[ptCopy] = ms
+					if rec.SCIONRTTms < 0 || ms < rec.SCIONRTTms {
+						rec.SCIONRTTms = ms
+						rec.BestPath = ptCopy
+					}
+					rec.SCIONOK++
+				})
 		}
+		st.failsLast = fails
+		// Finalize the record once all probes resolved (after the
+		// interval's events drain); schedule just before interval end.
+		recPtr := &rec
+		stRef := st
+		c.sim.AfterFunc(c.Cfg.Interval-time.Millisecond, func() {
+			_ = stRef
+			c.data.Records = append(c.data.Records, *recPtr)
+		})
 	}
 }
 
 // fullProbe recomputes the pair's paths and probe selection.
-func (c *Campaign) fullProbe(t time.Duration, src, dst addr.IA, st *pairState) {
+func (c *Campaign) fullProbe(t time.Duration, pr ProbePair, st *pairState) {
+	src, dst := pr.Src, pr.Dst
 	st.paths = c.Net.Paths(src, dst)
 	st.dirty = false
 	st.failsLast = 0
 	sample := PathCountSample{
-		T: t, Src: src, Dst: dst, Count: len(st.paths), BestMS: -1, SecondMS: -1,
+		T: t, Src: src, Dst: dst, Seq: uint64(pr.Index),
+		Count: len(st.paths), BestMS: -1, SecondMS: -1,
 	}
 	for _, p := range st.paths {
 		rtt := 2 * p.LatencyMS

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -132,6 +133,66 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("telemetry: decoding snapshot: %w", err)
 	}
 	return s, nil
+}
+
+// MergeSnapshots pools per-worker registry snapshots into one view:
+// counter and gauge series with the same (name, labels) sum their
+// values, histogram series merge bucket-wise (bounds must match — the
+// workers register identical instruments), and trace entries
+// concatenate sorted by timestamp. With a single input the snapshot is
+// returned unchanged, so a one-worker merge is the identity. Series
+// order follows first appearance across the inputs; since every worker
+// snapshots the same families in exposition order, the merged order
+// matches any single worker's.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	if len(snaps) == 1 {
+		return snaps[0]
+	}
+	var out Snapshot
+	type seriesKey struct {
+		name   string
+		labels string
+	}
+	idx := make(map[seriesKey]int)
+	renderLabels := func(m map[string]string) string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, m[k])
+		}
+		return b.String()
+	}
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			k := seriesKey{m.Name, renderLabels(m.Labels)}
+			i, ok := idx[k]
+			if !ok {
+				cp := m
+				if m.Histogram != nil {
+					h := *m.Histogram
+					h.Upper = append([]float64(nil), m.Histogram.Upper...)
+					h.Counts = append([]uint64(nil), m.Histogram.Counts...)
+					cp.Histogram = &h
+				}
+				idx[k] = len(out.Metrics)
+				out.Metrics = append(out.Metrics, cp)
+				continue
+			}
+			dst := &out.Metrics[i]
+			if m.Histogram != nil && dst.Histogram != nil {
+				_ = dst.Histogram.Merge(*m.Histogram)
+				continue
+			}
+			dst.Value += m.Value
+		}
+		out.Trace = append(out.Trace, s.Trace...)
+	}
+	sort.SliceStable(out.Trace, func(i, j int) bool { return out.Trace[i].TimeNS < out.Trace[j].TimeNS })
+	return out
 }
 
 // Total sums every series of a counter or gauge family; histograms
