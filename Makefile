@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign reference
+.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign bench-signing reference reference-pki
 
 all: build
 
@@ -28,17 +28,18 @@ fmt-check:
 	fi
 
 # The allocation guards skip under -race (its instrumentation
-# allocates), so verify runs them separately without it.
+# allocates), so verify runs them separately without it. Covers the
+# router fast path, the simulator, and the warm chain-cache verify path.
 alloc-guard:
-	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet
+	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki
 
 verify: build race alloc-guard vet fmt-check
 	@echo "verify: OK"
 
-bench: bench-micro bench-campaign
+bench: bench-micro bench-campaign bench-signing
 
 bench-micro:
-	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator
+	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator ./internal/segment ./internal/beacon
 
 # Times the full-scale measurement campaign at one worker and at
 # NumCPU workers, checks the figure outputs are byte-identical, and
@@ -46,7 +47,18 @@ bench-micro:
 bench-campaign:
 	$(GO) run ./cmd/campaignbench -out BENCH_campaign.json
 
+# The signed-control-plane ablation: the full campaign with and without
+# -pki, byte-identity asserted, signed/unsigned wall ratio checked
+# against the 1.3x budget; refreshes BENCH_signing.json.
+bench-signing:
+	$(GO) run ./cmd/campaignbench -signing -workers 1 -out BENCH_signing.json
+
 # Regenerates the committed reference run; diff must be empty.
 reference:
 	$(GO) run ./cmd/experiments -all -seed 42 > /tmp/sciera-run.txt
 	diff docs/reference-run.txt /tmp/sciera-run.txt
+
+# Same, with the signed control plane: -pki must not change a byte.
+reference-pki:
+	$(GO) run ./cmd/experiments -all -seed 42 -pki > /tmp/sciera-run-pki.txt
+	diff docs/reference-run.txt /tmp/sciera-run-pki.txt

@@ -4,6 +4,12 @@
 // JSON. The Makefile bench target uses it to maintain
 // BENCH_campaign.json.
 //
+// With -signing it instead runs the signed-control-plane ablation:
+// the same campaign with and without -pki (signing plus
+// verify-on-receipt), asserts byte-identical figures, and records the
+// signed/unsigned wall ratio against the 1.3x budget in
+// BENCH_signing.json (Makefile bench-signing target).
+//
 // Wall-clock speedup is bounded by the host's core count; the
 // user-CPU-seconds column shows whether the total work stayed flat
 // across worker counts (it must — sharding repartitions the campaign,
@@ -41,17 +47,39 @@ type report struct {
 	Note          string      `json:"note,omitempty"`
 }
 
+// signingReport records the signed-control-plane overhead ablation.
+type signingReport struct {
+	Timestamp      string    `json:"timestamp"`
+	HostCPUs       int       `json:"host_cpus"`
+	Seed           int64     `json:"seed"`
+	Quick          bool      `json:"quick"`
+	Workers        int       `json:"workers"`
+	Unsigned       runResult `json:"unsigned"`
+	Signed         runResult `json:"signed"`
+	ByteIdentical  bool      `json:"byte_identical"`
+	SignedOverhead float64   `json:"signed_overhead"`
+	OverheadBudget float64   `json:"overhead_budget"`
+	WithinBudget   bool      `json:"within_budget"`
+}
+
 func main() {
 	var (
 		seed    = flag.Int64("seed", 42, "campaign seed")
 		quick   = flag.Bool("quick", false, "reduced-scale campaign")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker count for the parallel run")
-		out     = flag.String("out", "BENCH_campaign.json", "write the JSON report here")
+		signing = flag.Bool("signing", false, "run the signed-vs-unsigned control-plane ablation instead")
+		out     = flag.String("out", "", "write the JSON report here (default BENCH_campaign.json, or BENCH_signing.json with -signing)")
 	)
 	flag.Parse()
+	if *out == "" {
+		*out = "BENCH_campaign.json"
+		if *signing {
+			*out = "BENCH_signing.json"
+		}
+	}
 
-	run := func(w int) (string, runResult, error) {
-		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: w}
+	run := func(w int, pki bool) (string, runResult, error) {
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: w, WithPKI: pki}
 		var buf bytes.Buffer
 		cpu0 := userCPUSeconds()
 		t0 := time.Now()
@@ -65,14 +93,19 @@ func main() {
 		return buf.String(), r, err
 	}
 
+	if *signing {
+		runSigning(run, *seed, *quick, *workers, *out)
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "campaignbench: seed=%d quick=%v host_cpus=%d\n", *seed, *quick, runtime.NumCPU())
-	single, r1, err := run(1)
+	single, r1, err := run(1, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench: workers=1:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: workers=1: wall %.2fs, user cpu %.2fs\n", r1.WallSeconds, r1.UserCPUSeconds)
-	par, rn, err := run(*workers)
+	par, rn, err := run(*workers, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaignbench: workers=%d: %v\n", *workers, err)
 		os.Exit(1)
@@ -107,6 +140,65 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: outputs byte-identical; wall speedup %.2fx; report in %s\n",
 		rep.WallSpeedup, *out)
+}
+
+// signingBudget is the acceptance ceiling for the signed campaign's
+// wall time relative to unsigned.
+const signingBudget = 1.3
+
+// runSigning executes the signed-control-plane ablation: the same
+// campaign with and without the PKI, byte-identity asserted, overhead
+// checked against the budget.
+func runSigning(run func(w int, pki bool) (string, runResult, error), seed int64, quick bool, workers int, out string) {
+	fmt.Fprintf(os.Stderr, "campaignbench: signing ablation: seed=%d quick=%v workers=%d host_cpus=%d\n",
+		seed, quick, workers, runtime.NumCPU())
+	plain, ru, err := run(workers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: unsigned:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: unsigned: wall %.2fs, user cpu %.2fs\n", ru.WallSeconds, ru.UserCPUSeconds)
+	signed, rs, err := run(workers, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: signed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: signed:   wall %.2fs, user cpu %.2fs\n", rs.WallSeconds, rs.UserCPUSeconds)
+
+	rep := signingReport{
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:       runtime.NumCPU(),
+		Seed:           seed,
+		Quick:          quick,
+		Workers:        workers,
+		Unsigned:       ru,
+		Signed:         rs,
+		ByteIdentical:  plain == signed,
+		SignedOverhead: round2(rs.WallSeconds / ru.WallSeconds),
+		OverheadBudget: signingBudget,
+	}
+	rep.WithinBudget = rep.SignedOverhead <= signingBudget
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+		os.Exit(1)
+	}
+	if !rep.ByteIdentical {
+		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: signed output differs from unsigned (%d vs %d bytes)\n",
+			rs.OutputBytes, ru.OutputBytes)
+		os.Exit(1)
+	}
+	if !rep.WithinBudget {
+		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: signed overhead %.2fx exceeds %.2fx budget\n",
+			rep.SignedOverhead, signingBudget)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: outputs byte-identical; signed overhead %.2fx (budget %.2fx); report in %s\n",
+		rep.SignedOverhead, signingBudget, out)
 }
 
 func round2(v float64) float64 {

@@ -9,6 +9,8 @@
 //	experiments -list             # list experiment names
 //	experiments -all -workers 4   # shard the campaign across 4 workers
 //	                              # (same bytes out, less wall clock)
+//	experiments -all -pki         # signed+verified control plane
+//	                              # (same bytes out, signed-overhead arm)
 //	experiments -all -telemetry t.json   # also dump the campaign's telemetry
 //	experiments -telemetry-report t.json # digest dump file(s) instead
 package main
@@ -34,10 +36,11 @@ func main() {
 		telem   = flag.String("telemetry", "", "write the campaign's telemetry snapshot as JSON to this file")
 		rep     = flag.String("telemetry-report", "", "print a report from telemetry dump file(s), comma-separated")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (output is byte-identical for any count)")
+		pki     = flag.Bool("pki", false, "sign and verify the control plane (output is byte-identical, wall time higher)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, TelemetryPath: *telem, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, TelemetryPath: *telem, Workers: *workers, WithPKI: *pki}
 	switch {
 	case *rep != "":
 		var snaps []telemetry.Snapshot

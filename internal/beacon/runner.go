@@ -3,6 +3,9 @@ package beacon
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"time"
 
 	"sciera/internal/addr"
 	"sciera/internal/cppki"
@@ -27,6 +30,15 @@ type RunnerMetrics struct {
 	Filtered telemetry.Counter
 	// Registered counts beacons terminated into registered segments.
 	Registered telemetry.Counter
+	// Verified counts received beacons whose signatures verified on
+	// receipt (verify-on-receipt runs only when the runner has TRCs).
+	Verified telemetry.Counter
+	// VerifyFailed counts received beacons dropped because signature
+	// verification failed.
+	VerifyFailed telemetry.Counter
+	// VerifyLatency optionally records per-beacon verification wall time
+	// in milliseconds; nil disables the measurement.
+	VerifyLatency *telemetry.Histogram
 }
 
 // Register adopts the cells into a registry.
@@ -35,6 +47,11 @@ func (m *RunnerMetrics) Register(reg *telemetry.Registry) {
 	reg.RegisterCounter("sciera_beacon_propagated_total", "beacon extensions propagated to neighbors", &m.Propagated)
 	reg.RegisterCounter("sciera_beacon_filtered_total", "beacon extensions suppressed by policy or store", &m.Filtered)
 	reg.RegisterCounter("sciera_beacon_registered_total", "beacons terminated into registered segments", &m.Registered)
+	reg.RegisterCounter("sciera_beacon_verified_total", "received beacons whose signatures verified on receipt", &m.Verified)
+	reg.RegisterCounter("sciera_beacon_verify_failed_total", "received beacons dropped on signature verification failure", &m.VerifyFailed)
+	if m.VerifyLatency != nil {
+		reg.RegisterHistogram("sciera_beacon_verify_latency_ms", "per-beacon signature verification wall time (ms)", m.VerifyLatency)
+	}
 }
 
 // KeyProvider resolves an AS's hop-field key. In the real deployment
@@ -70,6 +87,34 @@ type Runner struct {
 	Rng *rand.Rand
 	// Metrics receives beaconing counters; nil allocates private ones.
 	Metrics *RunnerMetrics
+	// TRCs enables verify-on-receipt: when set (alongside Signers), every
+	// received beacon's entry signatures are verified against the ISD TRC
+	// before it is admitted to a beacon store, and unverifiable beacons
+	// are dropped. Matches the deployment, where an AS never extends a
+	// beacon it cannot verify.
+	TRCs *cppki.Store
+	// Chains optionally memoizes verified certificate chains across
+	// receipts (shared with other runners/refreshes for a warm cache).
+	Chains *cppki.ChainCache
+	// VerifyWorkers bounds the verification worker pool (GOMAXPROCS if
+	// 0). Registry contents are identical at any worker count.
+	VerifyWorkers int
+	// VerifyAt is the PKI validity instant for verification; zero means
+	// the segment origination timestamp.
+	VerifyAt time.Time
+
+	// verifier is built per Run when verify-on-receipt is enabled; its
+	// signature memo makes repeat prefixes (the common case in beacon
+	// fan-out) cost one hash instead of one ECDSA verify per entry.
+	verifier *segment.Verifier
+}
+
+// flight is one beacon crossing one link: the segment as prepared by the
+// sender, the link it crosses, and the receiving AS.
+type flight struct {
+	seg *segment.Segment
+	l   *topology.Link
+	to  addr.IA
 }
 
 // Registry holds the outcome of a beaconing run: the segment databases
@@ -100,6 +145,13 @@ func (r *Runner) Run() (*Registry, error) {
 	}
 	if r.Metrics == nil {
 		r.Metrics = &RunnerMetrics{}
+	}
+	if r.TRCs != nil {
+		at := r.VerifyAt
+		if at.IsZero() {
+			at = time.Unix(int64(r.Timestamp), 0)
+		}
+		r.verifier = segment.NewVerifier(r.TRCs, r.Chains, at)
 	}
 	reg := &Registry{
 		Up:   make(map[addr.IA]*pathdb.DB),
@@ -139,10 +191,68 @@ func (r *Runner) originate(origin addr.IA, l *topology.Link) (*segment.Segment, 
 	return seg, nil
 }
 
+// verifyFlights checks the signatures of every in-flight beacon for a
+// round, fanned out over a bounded worker pool. Verdict i is always for
+// flight i, and the caller consumes verdicts in flight order, so the
+// admitted beacon set — and therefore every registry — is identical at
+// any worker count.
+func (r *Runner) verifyFlights(flights []flight) []error {
+	verdicts := make([]error, len(flights))
+	verify := func(i int) {
+		start := time.Now()
+		verdicts[i] = r.verifier.Verify(flights[i].seg)
+		if r.Metrics.VerifyLatency != nil {
+			r.Metrics.VerifyLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+	}
+	w := r.VerifyWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(flights) {
+		w = len(flights)
+	}
+	if w <= 1 {
+		for i := range flights {
+			verify(i)
+		}
+		return verdicts
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(flights); i += w {
+				verify(i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	return verdicts
+}
+
+// admit applies the round's verification verdict for flight i, counting
+// the outcome. It reports whether the beacon may enter the store.
+func (r *Runner) admit(verdicts []error, i int) bool {
+	if verdicts == nil {
+		return true
+	}
+	if verdicts[i] != nil {
+		r.Metrics.VerifyFailed.Inc()
+		return false
+	}
+	r.Metrics.Verified.Inc()
+	return true
+}
+
 // extend appends the entry of 'at' to a received beacon and prepares it
 // to leave over link out (or terminate if out is nil).
 func (r *Runner) extend(seg *segment.Segment, at addr.IA, inIf uint16, out *topology.Link) (*segment.Segment, error) {
-	ext := seg.Clone()
+	// Copy-on-write: the clone shares the parent's entry array; the
+	// capacity clamp makes Extend's append copy into an owned array, so
+	// sibling extensions of one received beacon never alias.
+	ext := seg.CloneForExtend()
 	e := segment.ASEntry{IA: at, Ingress: inIf, ExpTime: r.ExpTime}
 	if out != nil {
 		local, _ := out.Local(at)
@@ -206,12 +316,6 @@ func (r *Runner) runCore(reg *Registry) error {
 		stores[ia] = NewStore(r.BestPerOrigin)
 	}
 
-	// inFlight beacons: (segment prepared to cross link) tuples.
-	type flight struct {
-		seg *segment.Segment
-		l   *topology.Link
-		to  addr.IA
-	}
 	var flights []flight
 
 	commercial := func(ia addr.IA) bool {
@@ -236,11 +340,18 @@ func (r *Runner) runCore(reg *Registry) error {
 	}
 
 	for round := 0; round < r.MaxRounds && len(flights) > 0; round++ {
+		var verdicts []error
+		if r.verifier != nil {
+			verdicts = r.verifyFlights(flights)
+		}
 		var next []flight
-		for _, f := range flights {
+		for i, f := range flights {
 			inEnd, _ := f.l.Other(f.seg.ASEntries[len(f.seg.ASEntries)-1].IA)
 			if inEnd.IA != f.to {
 				return fmt.Errorf("beacon: internal: flight misrouted")
+			}
+			if !r.admit(verdicts, i) {
+				continue
 			}
 			if !stores[f.to].Insert(f.seg, inEnd.IfID) {
 				r.Metrics.Filtered.Inc()
@@ -280,6 +391,8 @@ func (r *Runner) runCore(reg *Registry) error {
 	}
 
 	// Registration: terminate every stored beacon into a core segment.
+	// Stored beacons were verified on receipt (when enabled); the
+	// terminating extension is the registering AS's own, so no re-verify.
 	for ia, store := range stores {
 		for _, es := range store.All() {
 			for _, e := range es {
@@ -300,11 +413,6 @@ func (r *Runner) runCore(reg *Registry) error {
 // the origin core's path server (down segments) — in this whole-network
 // driver both registries are views over the same segment set.
 func (r *Runner) runDown(reg *Registry) error {
-	type flight struct {
-		seg *segment.Segment
-		l   *topology.Link
-		to  addr.IA
-	}
 	var flights []flight
 	stores := make(map[addr.IA]*Store)
 	for _, as := range r.Topo.ASes() {
@@ -329,9 +437,16 @@ func (r *Runner) runDown(reg *Registry) error {
 	}
 
 	for round := 0; round < r.MaxRounds && len(flights) > 0; round++ {
+		var verdicts []error
+		if r.verifier != nil {
+			verdicts = r.verifyFlights(flights)
+		}
 		var next []flight
-		for _, f := range flights {
+		for i, f := range flights {
 			local, _ := f.l.Local(f.to)
+			if !r.admit(verdicts, i) {
+				continue
+			}
 			if !stores[f.to].Insert(f.seg, local.IfID) {
 				r.Metrics.Filtered.Inc()
 				continue

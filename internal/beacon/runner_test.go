@@ -22,7 +22,7 @@ var (
 
 func rkey(ia addr.IA) scrypto.HopKey { return scrypto.DeriveHopKey([]byte(ia.String()), 0) }
 
-func runnerTopo(t *testing.T) *topology.Topology {
+func runnerTopo(t testing.TB) *topology.Topology {
 	t.Helper()
 	topo := topology.New()
 	for _, ia := range []addr.IA{rc1, rc2, rc3} {

@@ -57,9 +57,11 @@ type Options struct {
 	// UseDispatcher configures routers to deliver through the legacy
 	// shared dispatcher port (Section 4.8 ablation).
 	UseDispatcher bool
-	// WithPKI provisions a control-plane PKI per ISD and signs all
-	// beacon entries. Slower; the live examples enable it, bulk
-	// campaigns skip it.
+	// WithPKI provisions a control-plane PKI per ISD, signs all beacon
+	// entries, and verifies every beacon on receipt against the ISD TRC
+	// (dropping unverifiable ones). A shared verified-chain cache keeps
+	// the cost near the unsigned path, so campaigns can run with the
+	// deployment-faithful signed control plane (-pki).
 	WithPKI bool
 	// Now stamps segments; defaults to the transport clock.
 	Now time.Time
@@ -92,7 +94,10 @@ type Network struct {
 	keys     map[addr.IA]scrypto.HopKey
 	signers  map[addr.IA]*cppki.Signer
 	trcs     *cppki.Store
-	rng      *rand.Rand
+	// chains memoizes verified certificate chains across all refreshes
+	// and (in sharded campaigns) across replicas of this network.
+	chains *cppki.ChainCache
+	rng    *rand.Rand
 
 	// telem/trace are the network-wide metric registry and packet-trace
 	// ring (nil with Options.NoTelemetry). beaconMetrics persists across
@@ -238,6 +243,10 @@ func (n *Network) NewPinger(ia addr.IA) (*scmp.Pinger, error) {
 // authoritative CAs, and an AS certificate/signer per AS.
 func (n *Network) provisionPKI() error {
 	now := n.Opts.Now
+	n.chains = cppki.NewChainCache()
+	if n.telem != nil {
+		n.chains.Register(n.telem)
+	}
 	byISD := make(map[addr.ISD][]addr.IA)
 	coreByISD := make(map[addr.ISD][]addr.IA)
 	for _, as := range n.Topo.ASes() {
@@ -296,6 +305,10 @@ func (n *Network) provisionPKI() error {
 func (n *Network) refreshControlPlane() error {
 	if n.beaconMetrics == nil {
 		n.beaconMetrics = &beacon.RunnerMetrics{}
+		if n.Opts.WithPKI {
+			n.beaconMetrics.VerifyLatency = telemetry.NewHistogram(
+				0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10)
+		}
 		if n.telem != nil {
 			n.beaconMetrics.Register(n.telem)
 		}
@@ -310,6 +323,9 @@ func (n *Network) refreshControlPlane() error {
 	}
 	if n.Opts.WithPKI {
 		runner.Signers = func(ia addr.IA) *cppki.Signer { return n.signers[ia] }
+		runner.TRCs = n.trcs
+		runner.Chains = n.chains
+		runner.VerifyAt = n.Opts.Now
 	}
 	reg, err := runner.Run()
 	if err != nil {
@@ -478,6 +494,9 @@ func (n *Network) Signer(ia addr.IA) *cppki.Signer { return n.signers[ia] }
 
 // TRCs returns the network's TRC store.
 func (n *Network) TRCs() *cppki.Store { return n.trcs }
+
+// ChainCache returns the verified-chain cache (nil without PKI).
+func (n *Network) ChainCache() *cppki.ChainCache { return n.chains }
 
 // Registry returns the current segment registry.
 func (n *Network) Registry() *beacon.Registry {

@@ -1,0 +1,163 @@
+package cppki
+
+import (
+	"testing"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/telemetry"
+)
+
+// cacheFixture provisions a one-CA ISD and returns a signed message from
+// coreA plus the provisioned material.
+func cacheFixture(t *testing.T, validity time.Duration) (*ProvisionedISD, *SignedMessage, time.Time) {
+	t.Helper()
+	now := time.Unix(1_737_000_000, 0)
+	p, err := ProvisionISD(71, []addr.IA{coreA, coreB, coreC}, []addr.IA{coreA, coreB},
+		ProvisionOptions{NotBefore: now.Add(-time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caMat := p.CACerts[coreA]
+	caCert, err := parseCert(t, caMat.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asKey, _ := GenerateKey()
+	asCert, err := NewASCert(coreA, asKey.Public(), caCert, caMat.Key, now.Add(-time.Minute), validity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer := &Signer{IA: coreA, Key: asKey, Chain: Chain{AS: asCert, CA: caCert}}
+	msg, err := signer.Sign([]byte("beacon-entry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, msg, now
+}
+
+func TestChainCacheHitMiss(t *testing.T) {
+	p, msg, now := cacheFixture(t, 72*time.Hour)
+	cache := NewChainCache()
+	reg := telemetry.NewRegistry()
+	cache.Register(reg)
+
+	for i := 0; i < 3; i++ {
+		payload, ia, err := msg.VerifyCached(p.TRC, coreA, now, cache)
+		if err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+		if string(payload) != "beacon-entry" || ia != coreA {
+			t.Fatalf("verify %d: payload %q from %v", i, payload, ia)
+		}
+	}
+	if got := cache.Misses.Load(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := cache.Hits.Load(); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("len = %d, want 1", cache.Len())
+	}
+
+	// A cache hit must still verify the payload signature: the cache
+	// memoizes chains, never messages.
+	forged := *msg
+	forged.Payload = []byte("forged")
+	if _, _, err := forged.VerifyCached(p.TRC, coreA, now, cache); err == nil {
+		t.Fatal("forged payload verified via cached chain")
+	}
+	// Expected-subject mismatch is enforced on the hit path too.
+	if _, _, err := msg.VerifyCached(p.TRC, coreB, now, cache); err == nil {
+		t.Fatal("cached chain verified for wrong expected subject")
+	}
+}
+
+// TestChainCacheExpiry: a cached verdict is only valid inside the
+// chain's validity window — verification at a time past the AS cert's
+// expiry must bypass the cache and fail, without poisoning later
+// lookups inside the window.
+func TestChainCacheExpiry(t *testing.T) {
+	p, msg, now := cacheFixture(t, time.Hour)
+	cache := NewChainCache()
+
+	if _, _, err := msg.VerifyCached(p.TRC, coreA, now, cache); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses.Load()
+
+	expired := now.Add(2 * time.Hour)
+	if _, _, err := msg.VerifyCached(p.TRC, coreA, expired, cache); err == nil {
+		t.Fatal("expired chain verified from cache")
+	}
+	if got := cache.Misses.Load(); got != misses+1 {
+		t.Errorf("expired lookup did not miss: misses = %d, want %d", got, misses+1)
+	}
+	// Back inside the window the original entry still serves hits.
+	hits := cache.Hits.Load()
+	if _, _, err := msg.VerifyCached(p.TRC, coreA, now.Add(30*time.Minute), cache); err != nil {
+		t.Fatalf("in-window verify after expiry probe: %v", err)
+	}
+	if got := cache.Hits.Load(); got != hits+1 {
+		t.Errorf("in-window lookup did not hit: hits = %d, want %d", got, hits+1)
+	}
+	// Negative verdicts are never cached.
+	if cache.Len() != 1 {
+		t.Errorf("len = %d after failed lookups, want 1", cache.Len())
+	}
+}
+
+// TestChainCacheTRCUpdate: a TRC update replaces the store's pointer, so
+// entries verified against the old TRC self-invalidate and the chain is
+// re-verified against the new one.
+func TestChainCacheTRCUpdate(t *testing.T) {
+	p, msg, now := cacheFixture(t, 72*time.Hour)
+	cache := NewChainCache()
+
+	if _, _, err := msg.VerifyCached(p.TRC, coreA, now, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	next, err := UpdateTRC(p.TRC, p.RootKeys, []addr.IA{coreA, coreB}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses.Load()
+	if _, _, err := msg.VerifyCached(next, coreA, now, cache); err != nil {
+		t.Fatalf("verify against updated TRC: %v", err)
+	}
+	if got := cache.Misses.Load(); got != misses+1 {
+		t.Errorf("lookup against updated TRC did not miss: misses = %d, want %d", got, misses+1)
+	}
+	// The re-verified entry now serves hits under the new TRC.
+	hits := cache.Hits.Load()
+	if _, _, err := msg.VerifyCached(next, coreA, now, cache); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Hits.Load(); got != hits+1 {
+		t.Errorf("repeat lookup under new TRC did not hit: hits = %d, want %d", got, hits+1)
+	}
+}
+
+// TestChainCacheResolveZeroAlloc guards the warm lookup path: resolving
+// an already-cached chain must not allocate, so beacon verification under
+// full campaign load does not churn the GC.
+func TestChainCacheResolveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	p, msg, now := cacheFixture(t, 72*time.Hour)
+	cache := NewChainCache()
+	if _, _, err := cache.resolve(msg, p.TRC, coreA, now); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := cache.resolve(msg, p.TRC, coreA, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm resolve allocates %.1f times per run, want 0", allocs)
+	}
+}

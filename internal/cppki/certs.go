@@ -165,24 +165,9 @@ func Validity(c *x509.Certificate, t time.Time) bool {
 // all certificates must be valid at t, and the AS cert's subject must be
 // the expected IA (when non-zero).
 func VerifyChain(chain Chain, trc *TRC, expected addr.IA, t time.Time) error {
-	if chain.AS == nil || chain.CA == nil {
-		return fmt.Errorf("%w: incomplete chain", ErrBadChain)
-	}
-	for _, c := range []*x509.Certificate{chain.AS, chain.CA} {
-		if !Validity(c, t) {
-			return fmt.Errorf("%w: %q [%s, %s] at %s",
-				ErrExpired, c.Subject.CommonName, c.NotBefore, c.NotAfter, t)
-		}
-	}
-	if err := chain.AS.CheckSignatureFrom(chain.CA); err != nil {
-		return fmt.Errorf("%w: AS cert not signed by CA: %v", ErrBadChain, err)
-	}
-	root := trc.rootFor(chain.CA)
-	if root == nil {
-		return ErrNotInTRC
-	}
-	if !Validity(root, t) {
-		return fmt.Errorf("%w: root %q", ErrExpired, root.Subject.CommonName)
+	_, _, err := verifyChainWindow(chain, trc, t)
+	if err != nil {
+		return err
 	}
 	if !expected.IsZero() {
 		got, err := SubjectIA(chain.AS)
@@ -194,4 +179,48 @@ func VerifyChain(chain Chain, trc *TRC, expected addr.IA, t time.Time) error {
 		}
 	}
 	return nil
+}
+
+// verifyChainWindow performs the cryptographic part of chain
+// verification and returns the validity window inside which the verdict
+// stays true: the intersection of the AS, CA and matched root
+// certificate validity periods with the TRC's own validity. The chain
+// cache keys its entries on this window so they self-invalidate at
+// cert/TRC expiry without re-parsing or re-verifying anything.
+func verifyChainWindow(chain Chain, trc *TRC, t time.Time) (notBefore, notAfter time.Time, err error) {
+	if chain.AS == nil || chain.CA == nil {
+		return notBefore, notAfter, fmt.Errorf("%w: incomplete chain", ErrBadChain)
+	}
+	for _, c := range []*x509.Certificate{chain.AS, chain.CA} {
+		if !Validity(c, t) {
+			return notBefore, notAfter, fmt.Errorf("%w: %q [%s, %s] at %s",
+				ErrExpired, c.Subject.CommonName, c.NotBefore, c.NotAfter, t)
+		}
+	}
+	if err := chain.AS.CheckSignatureFrom(chain.CA); err != nil {
+		return notBefore, notAfter, fmt.Errorf("%w: AS cert not signed by CA: %v", ErrBadChain, err)
+	}
+	root := trc.rootFor(chain.CA)
+	if root == nil {
+		return notBefore, notAfter, ErrNotInTRC
+	}
+	if !Validity(root, t) {
+		return notBefore, notAfter, fmt.Errorf("%w: root %q", ErrExpired, root.Subject.CommonName)
+	}
+	notBefore, notAfter = chain.AS.NotBefore, chain.AS.NotAfter
+	for _, c := range []*x509.Certificate{chain.CA, root} {
+		if c.NotBefore.After(notBefore) {
+			notBefore = c.NotBefore
+		}
+		if c.NotAfter.Before(notAfter) {
+			notAfter = c.NotAfter
+		}
+	}
+	if trc.NotBefore.After(notBefore) {
+		notBefore = trc.NotBefore
+	}
+	if trc.NotAfter.Before(notAfter) {
+		notAfter = trc.NotAfter
+	}
+	return notBefore, notAfter, nil
 }

@@ -4,7 +4,6 @@ import (
 	"crypto/ecdsa"
 	"crypto/rand"
 	"crypto/sha256"
-	"crypto/x509"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -47,29 +46,33 @@ func (s *Signer) Sign(payload []byte) (*SignedMessage, error) {
 // Verify checks the message against the TRC and returns the payload and
 // the signing AS. If expected is non-zero the signer's IA must match.
 func (m *SignedMessage) Verify(trc *TRC, expected addr.IA, at time.Time) ([]byte, addr.IA, error) {
-	asCert, err := x509.ParseCertificate(m.ASCertDER)
-	if err != nil {
-		return nil, 0, fmt.Errorf("cppki: parsing AS cert: %w", err)
+	return m.VerifyCached(trc, expected, at, nil)
+}
+
+// VerifyCached is Verify with an optional verified-chain cache: repeat
+// chains skip certificate parsing and chain verification, leaving only
+// the payload ECDSA check (which is always performed — the cache
+// memoizes chains, never messages).
+func (m *SignedMessage) VerifyCached(trc *TRC, expected addr.IA, at time.Time, cache *ChainCache) ([]byte, addr.IA, error) {
+	var (
+		pub *ecdsa.PublicKey
+		ia  addr.IA
+		err error
+	)
+	if cache != nil {
+		pub, ia, err = cache.resolve(m, trc, expected, at)
+	} else {
+		pub, ia, _, _, err = resolveChain(m, trc, at)
+		if err == nil && !expected.IsZero() && ia != expected {
+			err = fmt.Errorf("%w: have %v, want %v", ErrWrongSubject, ia, expected)
+		}
 	}
-	caCert, err := x509.ParseCertificate(m.CACertDER)
 	if err != nil {
-		return nil, 0, fmt.Errorf("cppki: parsing CA cert: %w", err)
-	}
-	chain := Chain{AS: asCert, CA: caCert}
-	if err := VerifyChain(chain, trc, expected, at); err != nil {
 		return nil, 0, err
-	}
-	pub, ok := asCert.PublicKey.(*ecdsa.PublicKey)
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: AS cert key is not ECDSA", ErrBadChain)
 	}
 	digest := sha256.Sum256(m.Payload)
 	if !ecdsa.VerifyASN1(pub, digest[:], m.Signature) {
 		return nil, 0, fmt.Errorf("%w: payload signature invalid", ErrBadChain)
-	}
-	ia, err := SubjectIA(asCert)
-	if err != nil {
-		return nil, 0, err
 	}
 	return m.Payload, ia, nil
 }

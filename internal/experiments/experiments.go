@@ -38,6 +38,13 @@ type Config struct {
 	// it — is byte-identical for any worker count (see DESIGN.md,
 	// "parallel campaign execution"). 0 or 1 runs single-worker.
 	Workers int
+	// WithPKI runs the campaigns with the signed control plane: every
+	// beacon entry is signed and verified on receipt (core.Options
+	// WithPKI). Signing draws from crypto/rand, never the seeded RNG,
+	// and an honest network admits exactly the beacons an unsigned run
+	// admits, so figure output is byte-identical with or without it —
+	// only wall time changes (the signed-overhead ablation).
+	WithPKI bool
 }
 
 // CampaignScale returns the measurement campaign parameters.
@@ -58,12 +65,18 @@ func (c Config) campaign() (duration, interval time.Duration, vantage []addr.IA)
 
 // BuildNetwork constructs the SCIERA network on a fresh simulator.
 func BuildNetwork(seed int64) (*core.Network, *simnet.Sim, error) {
+	return BuildNetworkOpts(seed, false)
+}
+
+// BuildNetworkOpts is BuildNetwork with the signed control plane
+// optionally enabled.
+func BuildNetworkOpts(seed int64, withPKI bool) (*core.Network, *simnet.Sim, error) {
 	topo, err := sciera.Build()
 	if err != nil {
 		return nil, nil, err
 	}
 	sim := simnet.NewSim(time.Unix(1_737_000_000, 0)) // mid-January, paper time
-	n, err := core.Build(topo, sim, core.Options{Seed: seed, BestPerOrigin: 16})
+	n, err := core.Build(topo, sim, core.Options{Seed: seed, BestPerOrigin: 16, WithPKI: withPKI})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,7 +91,7 @@ func BuildNetwork(seed int64) (*core.Network, *simnet.Sim, error) {
 // replica — topology, beaconing and path state are seed-reproducible,
 // which is what makes pair-sharding exact.
 func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
-	n, _, err := BuildNetwork(cfg.Seed)
+	n, _, err := BuildNetworkOpts(cfg.Seed, cfg.WithPKI)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSignedCampaignByteIdentical: running the campaign with the signed
+// and verified control plane (-pki) must not change a byte of figure
+// output — signing draws from crypto/rand rather than the seeded RNG,
+// and on an honest network verification admits exactly the beacons an
+// unsigned run admits. Checked at several worker counts, so the PKI arm
+// composes with sharding.
+func TestSignedCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three quick campaigns")
+	}
+	render := func(withPKI bool, workers int) string {
+		c := cfg
+		c.WithPKI = withPKI
+		c.Workers = workers
+		ds, n, err := RunCampaign(c)
+		if err != nil {
+			t.Fatalf("pki=%v workers=%d: %v", withPKI, workers, err)
+		}
+		defer n.Close()
+		duration, interval, _ := c.campaign()
+		var buf bytes.Buffer
+		Figure5(&buf, ds)
+		Figure6(&buf, ds)
+		Figure7(&buf, ds)
+		Figure8(&buf, ds)
+		Figure9(&buf, ds, duration, interval)
+		Figure10a(&buf, ds)
+		return buf.String()
+	}
+	golden := render(false, 1)
+	if got := render(true, 1); got != golden {
+		t.Error("signed campaign figure output differs from unsigned")
+	}
+	if got := render(true, 4); got != golden {
+		t.Error("signed 4-worker campaign figure output differs from unsigned 1-worker")
+	}
+}

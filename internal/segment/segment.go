@@ -350,6 +350,21 @@ func (s *Segment) BetaAfterFirst() uint16 {
 	return scrypto.UpdateBeta(s.Beta0, s.ASEntries[0].MAC)
 }
 
+// CloneForExtend returns a copy prepared for appending entries: the
+// receiver's AS-entry prefix is shared copy-on-write instead of
+// deep-copied. The capacity clamp makes the first append copy the entry
+// structs into an owned array, but the per-entry Peers slices and
+// Signature messages stay shared with the receiver — they are immutable
+// once an entry has been propagated, which is exactly the contract
+// beaconing fan-out needs (one received beacon extends into many
+// children, and Clone's per-entry deep copies dominated the runner's
+// allocation profile). Callers must treat the shared prefix as
+// read-only; TestCloneForExtendAliasing pins the safety argument.
+func (s *Segment) CloneForExtend() *Segment {
+	n := len(s.ASEntries)
+	return &Segment{Timestamp: s.Timestamp, Beta0: s.Beta0, ASEntries: s.ASEntries[:n:n]}
+}
+
 // Clone returns a deep copy.
 func (s *Segment) Clone() *Segment {
 	c := *s

@@ -1,39 +1,73 @@
 package segment
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"sciera/internal/addr"
 	"sciera/internal/cppki"
 )
 
-// signPayload returns the canonical bytes signed by entry i: the segment
-// metadata plus all entries up to and including i, signatures stripped.
-// Signing the prefix (rather than just the own entry) binds each entry to
-// its position, so a malicious AS cannot splice signed entries from other
-// beacons.
-func (s *Segment) signPayload(i int) ([]byte, error) {
-	if i < 0 || i >= len(s.ASEntries) {
-		return nil, fmt.Errorf("%w: sign index %d", ErrBadEntry, i)
+// The canonical bytes signed by entry i are the segment metadata plus
+// all entries up to and including i, signatures stripped:
+//
+//	{"timestamp":T,"beta0":B,"entries":[e0,...,ei]}
+//
+// Signing the prefix (rather than just the own entry) binds each entry
+// to its position, so a malicious AS cannot splice signed entries from
+// other beacons. The format is pinned byte-for-byte by
+// TestSignPayloadGolden: existing signatures must stay valid.
+//
+// payloadBuilder accumulates those bytes incrementally: each entry is
+// JSON-marshaled exactly once and the growing prefix is reused for every
+// later index, replacing the previous scheme that re-marshaled the whole
+// prefix per entry (O(n²) in segment length, at sign and verify time).
+type payloadBuilder struct {
+	buf []byte
+	n   int // entries appended
+}
+
+// newPayloadBuilder starts a builder with the segment's metadata header.
+func (s *Segment) newPayloadBuilder() payloadBuilder {
+	b := payloadBuilder{buf: make([]byte, 0, 64+192*(len(s.ASEntries)+1))}
+	b.buf = append(b.buf, `{"timestamp":`...)
+	b.buf = strconv.AppendUint(b.buf, uint64(s.Timestamp), 10)
+	b.buf = append(b.buf, `,"beta0":`...)
+	b.buf = strconv.AppendUint(b.buf, uint64(s.Beta0), 10)
+	b.buf = append(b.buf, `,"entries":[`...)
+	return b
+}
+
+// add marshals one entry (signature stripped) and appends it to the
+// accumulated prefix.
+func (b *payloadBuilder) add(e *ASEntry) error {
+	c := *e // shallow copy: Peers is shared but only read by Marshal
+	c.Signature = nil
+	eb, err := json.Marshal(&c)
+	if err != nil {
+		return fmt.Errorf("segment: marshaling sign payload entry: %w", err)
 	}
-	type entryNoSig struct {
-		ASEntry
-		Signature *cppki.SignedMessage `json:"signature,omitempty"`
+	if b.n > 0 {
+		b.buf = append(b.buf, ',')
 	}
-	prefix := struct {
-		Timestamp uint32       `json:"timestamp"`
-		Beta0     uint16       `json:"beta0"`
-		Entries   []entryNoSig `json:"entries"`
-	}{Timestamp: s.Timestamp, Beta0: s.Beta0}
-	for j := 0; j <= i; j++ {
-		e := entryNoSig{ASEntry: s.ASEntries[j]}
-		e.ASEntry.Signature = nil
-		e.Signature = nil
-		prefix.Entries = append(prefix.Entries, e)
-	}
-	return json.Marshal(&prefix)
+	b.buf = append(b.buf, eb...)
+	b.n++
+	return nil
+}
+
+// payload returns the canonical bytes for the entries added so far. The
+// returned slice may alias the builder's buffer: it is valid until the
+// next add call, and callers that retain it must own the builder (as
+// SignLast does — its builder dies with the call, transferring the
+// buffer to the signature).
+func (b *payloadBuilder) payload() []byte {
+	return append(b.buf, ']', '}')
 }
 
 // SignLast signs the most recently appended entry. Beaconing calls this
@@ -47,11 +81,13 @@ func (s *Segment) SignLast(signer *cppki.Signer) error {
 	if s.ASEntries[i].IA != signer.IA {
 		return fmt.Errorf("%w: signer %v for entry of %v", ErrBadEntry, signer.IA, s.ASEntries[i].IA)
 	}
-	payload, err := s.signPayload(i)
-	if err != nil {
-		return err
+	b := s.newPayloadBuilder()
+	for j := 0; j <= i; j++ {
+		if err := b.add(&s.ASEntries[j]); err != nil {
+			return err
+		}
 	}
-	msg, err := signer.Sign(payload)
+	msg, err := signer.Sign(b.payload())
 	if err != nil {
 		return err
 	}
@@ -59,38 +95,122 @@ func (s *Segment) SignLast(signer *cppki.Signer) error {
 	return nil
 }
 
-// VerifySignatures checks every entry's signature against the signing
-// AS's certificate chain and the ISD TRC. Unsigned entries fail with
-// ErrNotSigned.
-func (s *Segment) VerifySignatures(trcs *cppki.Store, at time.Time) error {
+// Verifier checks segment signatures against the control-plane PKI. The
+// zero value needs TRCs and At; Chains and the verification memo are
+// optional accelerators:
+//
+//   - Chains (a cppki.ChainCache) memoizes verified certificate chains,
+//     so repeat signers skip certificate parsing and chain ECDSA checks.
+//   - NewVerifier enables the signature memo: once an (entry payload,
+//     signature, chain, signer) tuple has verified, identical tuples are
+//     accepted without redoing the payload ECDSA check. In the beacon
+//     runner's fan-out the same verified prefix reaches many ASes, so
+//     only the newly appended tail entry of each received beacon pays
+//     an ECDSA verification. The memo keys on a digest of the expected
+//     canonical payload bytes — recomputed from the segment being
+//     verified, never taken from the message — so any tampered entry
+//     changes every subsequent key and falls through to (failing) full
+//     verification.
+//
+// A Verifier with the memo enabled is safe for concurrent use.
+type Verifier struct {
+	TRCs   *cppki.Store
+	Chains *cppki.ChainCache
+	At     time.Time
+
+	mu   sync.RWMutex
+	seen map[[sha256.Size]byte]struct{}
+}
+
+// NewVerifier creates a Verifier with the signature memo enabled.
+func NewVerifier(trcs *cppki.Store, chains *cppki.ChainCache, at time.Time) *Verifier {
+	return &Verifier{
+		TRCs:   trcs,
+		Chains: chains,
+		At:     at,
+		seen:   make(map[[sha256.Size]byte]struct{}),
+	}
+}
+
+// memoKey digests everything a signature verdict depends on: the
+// expected canonical payload bytes, the signature, the certificate
+// chain, and the entry's claimed signer.
+func memoKey(want []byte, e *ASEntry) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	h.Write(want)
+	binary.BigEndian.PutUint64(n[:], uint64(len(want)))
+	h.Write(n[:]) // length framing between variable-size fields
+	h.Write(e.Signature.Signature)
+	binary.BigEndian.PutUint64(n[:], uint64(len(e.Signature.Signature)))
+	h.Write(n[:])
+	h.Write(e.Signature.ASCertDER)
+	binary.BigEndian.PutUint64(n[:], uint64(len(e.Signature.ASCertDER)))
+	h.Write(n[:])
+	h.Write(e.Signature.CACertDER)
+	binary.BigEndian.PutUint64(n[:], uint64(len(e.Signature.CACertDER)))
+	h.Write(n[:])
+	binary.BigEndian.PutUint64(n[:], uint64(e.IA))
+	h.Write(n[:])
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// Verify checks every entry's signature. Unsigned entries fail with
+// ErrNotSigned, any mismatch with ErrBadSig.
+func (v *Verifier) Verify(s *Segment) error {
 	if len(s.ASEntries) == 0 {
 		return ErrEmpty
 	}
+	b := s.newPayloadBuilder()
 	for i := range s.ASEntries {
 		e := &s.ASEntries[i]
 		if e.Signature == nil {
 			return fmt.Errorf("%w: entry %d (%v)", ErrNotSigned, i, e.IA)
 		}
-		trc, ok := trcs.Get(e.IA.ISD())
+		if err := b.add(e); err != nil {
+			return err
+		}
+		want := b.payload()
+		var key [sha256.Size]byte
+		if v.seen != nil {
+			key = memoKey(want, e)
+			v.mu.RLock()
+			_, ok := v.seen[key]
+			v.mu.RUnlock()
+			if ok {
+				continue
+			}
+		}
+		trc, ok := v.TRCs.Get(e.IA.ISD())
 		if !ok {
 			return fmt.Errorf("%w: no TRC for ISD %d", ErrBadSig, e.IA.ISD())
 		}
-		want, err := s.signPayload(i)
-		if err != nil {
-			return err
-		}
-		payload, signerIA, err := e.Signature.Verify(trc, e.IA, at)
+		payload, signerIA, err := e.Signature.VerifyCached(trc, e.IA, v.At, v.Chains)
 		if err != nil {
 			return fmt.Errorf("%w: entry %d (%v): %v", ErrBadSig, i, e.IA, err)
 		}
 		if signerIA != e.IA {
 			return fmt.Errorf("%w: entry %d signed by %v", ErrBadSig, i, signerIA)
 		}
-		if string(payload) != string(want) {
+		if !bytes.Equal(payload, want) {
 			return fmt.Errorf("%w: entry %d payload mismatch", ErrBadSig, i)
+		}
+		if v.seen != nil {
+			v.mu.Lock()
+			v.seen[key] = struct{}{}
+			v.mu.Unlock()
 		}
 	}
 	return nil
+}
+
+// VerifySignatures checks every entry's signature against the signing
+// AS's certificate chain and the ISD TRC. Unsigned entries fail with
+// ErrNotSigned.
+func (s *Segment) VerifySignatures(trcs *cppki.Store, at time.Time) error {
+	return (&Verifier{TRCs: trcs, At: at}).Verify(s)
 }
 
 // SignerIAs lists the ASes that signed the segment, in order.
