@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign bench-signing reference reference-pki
+.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign bench-signing bench-dataplane reference reference-pki
 
 all: build
 
@@ -29,14 +29,15 @@ fmt-check:
 
 # The allocation guards skip under -race (its instrumentation
 # allocates), so verify runs them separately without it. Covers the
-# router fast path, the simulator, and the warm chain-cache verify path.
+# router fast path (single-packet and batched), the simulator, and the
+# warm chain-cache verify path.
 alloc-guard:
 	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki
 
 verify: build race alloc-guard vet fmt-check
 	@echo "verify: OK"
 
-bench: bench-micro bench-campaign bench-signing
+bench: bench-micro bench-campaign bench-signing bench-dataplane
 
 bench-micro:
 	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator ./internal/segment ./internal/beacon
@@ -52,6 +53,13 @@ bench-campaign:
 # against the 1.3x budget; refreshes BENCH_signing.json.
 bench-signing:
 	$(GO) run ./cmd/campaignbench -signing -workers 1 -out BENCH_signing.json
+
+# Batched data-plane pps at batch=1/8/32 against the single-packet
+# baseline (>= 5x at batch=32 asserted), plus the mixed-burst
+# determinism cross-check at several batch-worker counts; refreshes
+# BENCH_dataplane.json.
+bench-dataplane:
+	$(GO) run ./cmd/dataplanebench -out BENCH_dataplane.json
 
 # Regenerates the committed reference run; diff must be empty.
 reference:

@@ -147,3 +147,72 @@ func TestDispatcherDeliveryZeroAlloc(t *testing.T) {
 		t.Errorf("registry demux hits %g disagree with cell %d", v, disp.DemuxHits.Load())
 	}
 }
+
+// TestRouterForwardingBatchZeroAlloc guards the batch pipeline the same
+// way: a 32-packet same-flow burst injected with SendBatch, forwarded
+// through two routers as merged burst events and delivered in one batch
+// callback, must not allocate in steady state — the whole point of the
+// batch path is amortizing per-packet machinery, not trading it for
+// per-burst garbage.
+func TestRouterForwardingBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	const batch = 32
+	b := &testing.B{}
+	n, sim, a, z := benchNetOpts(b, false, false)
+	defer n.Close()
+	got := 0
+	recv, err := sim.Listen(netip.AddrPortFrom(sim.AllocAddr(), 40000), func([]byte, netip.AddrPort) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sim.Listen(netip.AddrPort{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtrA, _ := n.Router(a)
+	paths := n.Paths(a, z)
+	if len(paths) == 0 {
+		t.Fatal("no path")
+	}
+	pkt := &slayers.Packet{
+		Hdr: slayers.SCION{
+			DstIA: z, SrcIA: a,
+			DstHost: recv.LocalAddr().Addr(),
+			SrcHost: src.LocalAddr().Addr(),
+			Path:    *paths[0].Raw.Copy(),
+		},
+		UDP:     &slayers.UDP{SrcPort: src.LocalAddr().Port(), DstPort: 40000},
+		Payload: make([]byte, 1000),
+	}
+	raw, err := pkt.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([][]byte, batch)
+	dests := make([]netip.AddrPort, batch)
+	for i := range pkts {
+		pkts[i] = raw
+		dests[i] = rtrA.LocalAddr()
+	}
+	// Warm pools: packet processors, merged burst events and their
+	// per-packet buffers, egress batch scratch.
+	for i := 0; i < 64; i++ {
+		_ = src.SendBatch(pkts, dests)
+		sim.Run()
+	}
+	before := got
+	if allocs := testing.AllocsPerRun(256, func() {
+		_ = src.SendBatch(pkts, dests)
+		sim.Run()
+	}); allocs != 0 {
+		t.Errorf("batch forwarding with telemetry enabled: %.2f allocs/op, want 0", allocs)
+	}
+	if delivered := got - before; delivered < 256*batch {
+		t.Errorf("delivered %d packets during measurement, want at least %d", delivered, 256*batch)
+	}
+	if fwd := rtrA.Metrics().Forwarded.Load(); fwd == 0 {
+		t.Error("telemetry counters did not advance")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciera/internal/addr"
@@ -75,6 +76,11 @@ type Options struct {
 	// exposition, trace sampling and the per-wire queue probing — the
 	// uninstrumented arm of the overhead ablation.
 	NoTelemetry bool
+	// RouterBatchWorkers fans checksum pre-verification of large ingress
+	// bursts across this many workers in every router. Results are
+	// consumed in arrival order (strided assignment), so any value —
+	// including 0/1, which verify inline — produces byte-identical runs.
+	RouterBatchWorkers int
 }
 
 // Network is a fully assembled SCION network.
@@ -86,9 +92,13 @@ type Network struct {
 	mu       sync.RWMutex
 	registry *beacon.Registry
 	// wires maps directed (from, to) underlay circuit endpoints to
-	// their topology link, for the simulator's latency model.
+	// their topology link, for the simulator's latency model. The map
+	// itself is immutable once published: addWire copies-on-write under
+	// wiresMu (build time and topology growth only), so the latency
+	// model — the hottest per-packet path in the simulator — reads it
+	// through the atomic pointer without taking a lock.
 	wiresMu  sync.Mutex
-	wires    map[wireKey]*topology.Link
+	wires    atomic.Pointer[map[wireKey]*topology.Link]
 	routers  map[addr.IA]*router.Router
 	services map[addr.IA]*control.Service
 	keys     map[addr.IA]scrypto.HopKey
@@ -343,12 +353,26 @@ func (n *Network) RefreshControlPlane() error { return n.refreshControlPlane() }
 // wireKey identifies a directed circuit by its underlay endpoints.
 type wireKey struct{ from, to netip.AddrPort }
 
-// addWire records a circuit's endpoints in the latency table.
+// addWire records a circuit's endpoints in the latency table by
+// publishing a fresh copy of the (otherwise immutable) wire map.
 func (n *Network) addWire(a, b netip.AddrPort, l *topology.Link) {
 	n.wiresMu.Lock()
 	defer n.wiresMu.Unlock()
-	n.wires[wireKey{a, b}] = l
-	n.wires[wireKey{b, a}] = l
+	old := n.wires.Load()
+	next := make(map[wireKey]*topology.Link, len(*old)+2)
+	for k, v := range *old {
+		next[k] = v
+	}
+	next[wireKey{a, b}] = l
+	next[wireKey{b, a}] = l
+	n.wires.Store(&next)
+}
+
+// lookupWire resolves a directed circuit. Lock-free: the published map
+// is never mutated, only replaced wholesale by addWire.
+func (n *Network) lookupWire(k wireKey) (*topology.Link, bool) {
+	l, ok := (*n.wires.Load())[k]
+	return l, ok
 }
 
 // buildDataPlane instantiates a border router per AS and wires the
@@ -365,7 +389,8 @@ func (n *Network) buildDataPlane() error {
 	}
 	// Wire both ends of every link: one underlay socket per interface,
 	// as in production border routers.
-	n.wires = make(map[wireKey]*topology.Link)
+	empty := make(map[wireKey]*topology.Link)
+	n.wires.Store(&empty)
 	for _, l := range n.Topo.Links() {
 		ra := n.routers[l.A.IA]
 		rb := n.routers[l.B.IA]
@@ -393,16 +418,34 @@ func (n *Network) buildDataPlane() error {
 		if intra == 0 {
 			intra = 100 * time.Microsecond
 		}
+		// One-entry memo for the key→(link, prop) resolution: a burst
+		// resolves the same directed wire for every packet, and the sim
+		// invokes Latency strictly under its event-loop lock, so plain
+		// closure-local state is race-free. Link state (up/down, busy)
+		// is still consulted per packet — only the resolution, which
+		// changes solely through addWire's copy-on-write publish, is
+		// memoized (keyed on the map snapshot to self-invalidate).
+		var (
+			memoMap  *map[wireKey]*topology.Link
+			memoKey  wireKey
+			memoLink *topology.Link
+			memoProp time.Duration
+		)
 		sim.Latency = func(from, to netip.AddrPort, size int, now time.Time) (time.Duration, bool) {
 			k := wireKey{from, to}
-			n.wiresMu.Lock()
-			l, ok := n.wires[k]
-			n.wiresMu.Unlock()
-			if ok {
-				if !n.Topo.LinkUp(l.ID) {
+			m := n.wires.Load()
+			if m != memoMap || k != memoKey {
+				memoMap, memoKey = m, k
+				memoLink = (*m)[k]
+				if memoLink != nil {
+					memoProp = time.Duration(memoLink.LatencyMS * float64(time.Millisecond))
+				}
+			}
+			if l := memoLink; l != nil {
+				if !l.Up() {
 					return 0, false
 				}
-				prop := time.Duration(l.LatencyMS * float64(time.Millisecond))
+				prop := memoProp
 				if l.BandwidthMbps <= 0 {
 					return prop, true
 				}
@@ -437,6 +480,7 @@ func (n *Network) routerConfig(ia addr.IA) router.Config {
 		Key:           n.keys[ia],
 		Net:           n.Transport,
 		UseDispatcher: n.Opts.UseDispatcher,
+		BatchWorkers:  n.Opts.RouterBatchWorkers,
 		LinkUp: func(ifID uint16) bool {
 			l, ok := n.Topo.LinkAt(topology.LinkEnd{IA: ia, IfID: ifID})
 			return ok && n.Topo.LinkUp(l.ID)

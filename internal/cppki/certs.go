@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 	"time"
 
 	"sciera/internal/addr"
@@ -69,11 +70,14 @@ func GenerateKey() (*KeyPair, error) {
 // Public returns the public half.
 func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.Private.PublicKey }
 
-var serialCounter int64 = time.Now().UnixNano()
+// serialCounter is atomic: sharded campaigns provision per-replica
+// PKIs concurrently, and serials only need uniqueness.
+var serialCounter atomic.Int64
+
+func init() { serialCounter.Store(time.Now().UnixNano()) }
 
 func nextSerial() *big.Int {
-	serialCounter++
-	return big.NewInt(serialCounter)
+	return big.NewInt(serialCounter.Add(1))
 }
 
 // subjectFor builds the distinguished name for an IA and role.

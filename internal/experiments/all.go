@@ -61,7 +61,7 @@ func dispatch(w io.Writer, name string, cfg Config, ds *multiping.Dataset, n *co
 		net := n
 		if net == nil {
 			var err error
-			net, _, err = BuildNetworkOpts(cfg.Seed, cfg.WithPKI)
+			net, _, err = buildNetworkCfg(cfg)
 			if err != nil {
 				return err
 			}
@@ -130,7 +130,7 @@ func RunAll(w io.Writer, cfg Config) error {
 	// Disjointness characterizes the deployment itself, so it runs on
 	// an intact network rather than the post-campaign state (which
 	// still carries the long-running circuit outages).
-	fresh, _, err := BuildNetworkOpts(cfg.Seed, cfg.WithPKI)
+	fresh, _, err := buildNetworkCfg(cfg)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,12 @@ type Config struct {
 	// admits, so figure output is byte-identical with or without it —
 	// only wall time changes (the signed-overhead ablation).
 	WithPKI bool
+	// RouterBatchWorkers fans router checksum pre-verification of large
+	// ingress bursts across N workers per router (core.Options
+	// RouterBatchWorkers). Verdicts are consumed in arrival order, so
+	// any value produces byte-identical campaigns — only wall time
+	// changes. 0 or 1 verifies inline.
+	RouterBatchWorkers int
 }
 
 // CampaignScale returns the measurement campaign parameters.
@@ -71,12 +77,23 @@ func BuildNetwork(seed int64) (*core.Network, *simnet.Sim, error) {
 // BuildNetworkOpts is BuildNetwork with the signed control plane
 // optionally enabled.
 func BuildNetworkOpts(seed int64, withPKI bool) (*core.Network, *simnet.Sim, error) {
+	return buildNetworkCfg(Config{Seed: seed, WithPKI: withPKI})
+}
+
+// buildNetworkCfg constructs the SCIERA network a campaign or figure
+// run uses, honoring the config's network-affecting knobs.
+func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
 	topo, err := sciera.Build()
 	if err != nil {
 		return nil, nil, err
 	}
 	sim := simnet.NewSim(time.Unix(1_737_000_000, 0)) // mid-January, paper time
-	n, err := core.Build(topo, sim, core.Options{Seed: seed, BestPerOrigin: 16, WithPKI: withPKI})
+	n, err := core.Build(topo, sim, core.Options{
+		Seed:               cfg.Seed,
+		BestPerOrigin:      16,
+		WithPKI:            cfg.WithPKI,
+		RouterBatchWorkers: cfg.RouterBatchWorkers,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,7 +108,7 @@ func BuildNetworkOpts(seed int64, withPKI bool) (*core.Network, *simnet.Sim, err
 // replica — topology, beaconing and path state are seed-reproducible,
 // which is what makes pair-sharding exact.
 func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
-	n, _, err := BuildNetworkOpts(cfg.Seed, cfg.WithPKI)
+	n, _, err := buildNetworkCfg(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

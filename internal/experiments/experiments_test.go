@@ -212,20 +212,22 @@ func TestRunAllQuick(t *testing.T) {
 
 // TestCampaignDeterminism backs EXPERIMENTS.md's central reproducibility
 // claim: two campaigns with the same seed must produce byte-identical
-// datasets; a different seed must not.
+// datasets — including when one of them fans router checksum
+// pre-verification across batch workers — and a different seed must
+// not.
 func TestCampaignDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs three quick campaigns")
 	}
-	run := func(seed int64) *multiping.Dataset {
-		ds, n, err := RunCampaign(Config{Seed: seed, Quick: true})
+	run := func(seed int64, batchWorkers int) *multiping.Dataset {
+		ds, n, err := RunCampaign(Config{Seed: seed, Quick: true, RouterBatchWorkers: batchWorkers})
 		if err != nil {
 			t.Fatal(err)
 		}
 		n.Close()
 		return ds
 	}
-	a, b := run(42), run(42)
+	a, b := run(42, 0), run(42, 4)
 	if len(a.Records) != len(b.Records) {
 		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
 	}
@@ -244,7 +246,7 @@ func TestCampaignDeterminism(t *testing.T) {
 	// The measurements themselves are topology-determined: a different
 	// seed re-randomizes the control plane's accumulators but must not
 	// change what the campaign measures.
-	c := run(43)
+	c := run(43, 0)
 	if len(a.Records) != len(c.Records) {
 		t.Fatalf("record counts differ across seeds: %d vs %d", len(a.Records), len(c.Records))
 	}

@@ -19,6 +19,7 @@
 package router
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -111,6 +112,14 @@ type Config struct {
 	// models one. Consulted only for sampled (traced) packets; nil
 	// reports no queueing.
 	QueueDelay func(from, to netip.AddrPort) time.Duration
+	// BatchWorkers sizes the burst pre-verification pool: the L4
+	// checksums of a delivered burst are verified in parallel, strided
+	// across workers (worker w takes packets w, w+N, w+2N, ...), and the
+	// sequential pipeline then consumes verdict i for packet i in
+	// arrival order — the same strided-determinism trick as the beacon
+	// verify pool, so forwarding output is byte-identical at any worker
+	// count. 0 or 1 verifies inline on the event-loop goroutine.
+	BatchWorkers int
 }
 
 // iface is one external interface: a dedicated underlay socket (as in
@@ -125,6 +134,9 @@ type iface struct {
 	macFail *telemetry.Counter // MAC failures of packets arriving here
 }
 
+// ErrClosed is returned by wiring calls on a closed router.
+var ErrClosed = errors.New("router: closed")
+
 // Router is a border router instance.
 type Router struct {
 	cfg Config
@@ -134,10 +146,16 @@ type Router struct {
 
 	mu     sync.RWMutex
 	ifaces map[uint16]*iface
+	closed bool // guarded by mu; Close is idempotent, post-close wiring fails
 
 	// procs pools packet processors: decode state, MAC instance and
 	// serialization scratch reused across packets (SNIPPETS exemplar).
 	procs sync.Pool
+
+	// csumCh feeds the strided checksum pre-verification workers (nil
+	// when BatchWorkers <= 1); workerWG tracks their shutdown on Close.
+	csumCh   chan csumJob
+	workerWG sync.WaitGroup
 
 	metrics *Metrics
 	reg     *telemetry.Registry
@@ -149,11 +167,20 @@ type Router struct {
 // packet so that steady-state processing allocates nothing: the decoded
 // layer structs (whose path slices DecodeFromBytes reuses), one CMAC
 // instance keyed with the AS's hop key, and a scratch buffer for
-// serializing router-originated packets.
+// serializing router-originated packets. The batch fields are the
+// burst fast path's reusable scratch: the reference packet's original
+// header image, the coalesced egress burst, per-packet checksum
+// verdicts, and the fan-out WaitGroup.
 type packetProcessor struct {
 	pkt slayers.Packet
 	mac *scrypto.CMAC
 	buf []byte
+
+	refHdr   []byte
+	wires    [][]byte
+	dests    []netip.AddrPort
+	verdicts []uint8
+	wg       sync.WaitGroup
 }
 
 // New binds the router's internal socket.
@@ -183,13 +210,20 @@ func New(cfg Config) (*Router, error) {
 		r.reg = telemetry.NewRegistry()
 	}
 	r.metrics.register(r.reg, cfg.IA)
-	conn, err := cfg.Net.Listen(cfg.LocalAddr, func(pkt []byte, from netip.AddrPort) {
-		r.handle(pkt, 0, originInternal)
+	conn, err := cfg.Net.ListenBatch(cfg.LocalAddr, func(pkts [][]byte, from []netip.AddrPort) {
+		r.handleBatch(pkts, 0, originInternal)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("router %v: %w", cfg.IA, err)
 	}
 	r.conn = conn
+	if cfg.BatchWorkers > 1 {
+		r.csumCh = make(chan csumJob, cfg.BatchWorkers)
+		for i := 0; i < cfg.BatchWorkers; i++ {
+			r.workerWG.Add(1)
+			go r.csumWorker()
+		}
+	}
 	return r, nil
 }
 
@@ -205,10 +239,17 @@ func (r *Router) Metrics() *Metrics { return r.metrics }
 
 // AddInterface creates the underlay socket for a local interface and
 // returns its address (the L2 circuit endpoint the neighbor sends to).
+// The lock is held across the bind so no socket can be created on a
+// router that a concurrent Close has already torn down.
 func (r *Router) AddInterface(ifID uint16) (netip.AddrPort, error) {
-	conn, err := r.cfg.Net.Listen(netip.AddrPortFrom(r.conn.LocalAddr().Addr(), 0),
-		func(pkt []byte, from netip.AddrPort) {
-			r.handle(pkt, ifID, originExternal)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return netip.AddrPort{}, fmt.Errorf("router %v if %d: %w", r.cfg.IA, ifID, ErrClosed)
+	}
+	conn, err := r.cfg.Net.ListenBatch(netip.AddrPortFrom(r.conn.LocalAddr().Addr(), 0),
+		func(pkts [][]byte, from []netip.AddrPort) {
+			r.handleBatch(pkts, ifID, originExternal)
 		})
 	if err != nil {
 		return netip.AddrPort{}, fmt.Errorf("router %v if %d: %w", r.cfg.IA, ifID, err)
@@ -222,9 +263,7 @@ func (r *Router) AddInterface(ifID uint16) (netip.AddrPort, error) {
 		drops:   r.reg.Counter("sciera_router_if_drops_total", "packets dropped at an egress interface", r.iaLabel, ifl),
 		macFail: r.reg.Counter("sciera_router_if_mac_failures_total", "MAC failures of packets arriving on an interface", r.iaLabel, ifl),
 	}
-	r.mu.Lock()
 	r.ifaces[ifID] = it
-	r.mu.Unlock()
 	return conn.LocalAddr(), nil
 }
 
@@ -233,6 +272,9 @@ func (r *Router) AddInterface(ifID uint16) (netip.AddrPort, error) {
 func (r *Router) ConnectInterface(ifID uint16, remote netip.AddrPort) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("router %v if %d: %w", r.cfg.IA, ifID, ErrClosed)
+	}
 	it, ok := r.ifaces[ifID]
 	if !ok {
 		return fmt.Errorf("router %v: unknown interface %d", r.cfg.IA, ifID)
@@ -252,12 +294,24 @@ func (r *Router) InterfaceAddr(ifID uint16) (netip.AddrPort, bool) {
 	return it.conn.LocalAddr(), true
 }
 
-// Close detaches all sockets.
+// Close detaches all sockets, clears the interface table and stops the
+// pre-verification workers. It is idempotent — a second Close returns
+// nil — and subsequent AddInterface/ConnectInterface calls fail with
+// ErrClosed, so no new socket can be bound on a dead router.
 func (r *Router) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, it := range r.ifaces {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.csumCh != nil {
+		close(r.csumCh)
+		r.workerWG.Wait()
+	}
+	for id, it := range r.ifaces {
 		_ = it.conn.Close()
+		delete(r.ifaces, id)
 	}
 	return r.conn.Close()
 }
@@ -284,23 +338,6 @@ func (r *Router) tracePacket(verdict telemetry.TraceVerdict, ingress, egress uin
 	})
 }
 
-// handle processes one underlay datagram. raw is owned by this call for
-// its duration (simnet.Handler contract): the fast path mutates it in
-// place and sends it onward before returning.
-func (r *Router) handle(raw []byte, inIf uint16, origin originKind) {
-	r.metrics.Received.Add(1)
-	proc := r.procs.Get().(*packetProcessor)
-	defer r.procs.Put(proc)
-	if err := proc.pkt.Decode(raw); err != nil {
-		r.metrics.ParseFailures.Add(1)
-		if r.trace.Sample() {
-			r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
-		}
-		return
-	}
-	r.process(proc, &proc.pkt, raw, inIf, origin)
-}
-
 // origin classifies where a packet entered the router.
 type originKind int
 
@@ -310,25 +347,281 @@ const (
 	originSelf                       // generated by this router (SCMP)
 )
 
-// process runs the forwarding pipeline. pkt is the decoded packet and
-// raw the buffer it was decoded from (nil for router-originated packets,
-// which have no wire image yet). inIf is the arrival interface
-// (meaningful only for originExternal).
-func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16, origin originKind) {
+// decisionKind classifies what the forwarding pipeline decided for one
+// packet.
+type decisionKind uint8
+
+const (
+	kindDrop    decisionKind = iota // nothing leaves (drop, or SCMP already injected)
+	kindForward                     // wire goes out an external interface
+	kindDeliver                     // wire goes to an AS-local end host
+)
+
+// decision is the outcome of the pipeline for one packet: the verdict,
+// the resolved egress interface (forward) or end-host address
+// (deliver), and the facts the burst fast path needs to replay the
+// verdict on same-flow siblings — the egress/hop index for per-packet
+// accounting, and whether a router-alert hop was examined (alert
+// handling depends on L4 content, so alerted packets never share
+// verdicts).
+type decision struct {
+	kind   decisionKind
+	out    *iface
+	wire   []byte
+	to     netip.AddrPort
+	egress uint16
+	hopIdx uint8
+	alert  bool
+}
+
+// emit performs the send a decision calls for. It is separate from the
+// decision logic so the batch path can coalesce a burst's sends into
+// one SendBatch instead.
+func (r *Router) emit(d decision) {
+	switch d.kind {
+	case kindForward:
+		_ = d.out.conn.Send(d.wire, d.out.remote)
+	case kindDeliver:
+		_ = r.conn.Send(d.wire, d.to)
+	}
+}
+
+// Checksum verdicts produced by the pre-verification workers.
+const (
+	csumOK uint8 = iota + 1
+	csumBad
+)
+
+// csumJob is one stride of a burst handed to a pre-verification worker:
+// verify packets offset, offset+stride, ... and record verdicts at the
+// packets' own indices, so the consumer can walk them in arrival order.
+type csumJob struct {
+	pkts     [][]byte
+	verdicts []uint8
+	offset   int
+	stride   int
+	wg       *sync.WaitGroup
+}
+
+func (r *Router) csumWorker() {
+	defer r.workerWG.Done()
+	for job := range r.csumCh {
+		for i := job.offset; i < len(job.pkts); i += job.stride {
+			if slayers.VerifyChecksum(job.pkts[i]) == nil {
+				job.verdicts[i] = csumOK
+			} else {
+				job.verdicts[i] = csumBad
+			}
+		}
+		job.wg.Done()
+	}
+}
+
+// minParallelBurst is the burst size below which fanning checksums out
+// to workers costs more than it saves.
+const minParallelBurst = 8
+
+// preverify fans the burst's checksum verification out across the
+// worker pool, strided so verdict i always belongs to packet i
+// regardless of worker count — the sequential pipeline consumes them
+// in arrival order, keeping output byte-identical at any pool size.
+// Returns nil when verification should happen inline (no pool, or the
+// burst is too small to amortize the fan-out).
+func (r *Router) preverify(proc *packetProcessor, pkts [][]byte) []uint8 {
+	if r.csumCh == nil || len(pkts) < minParallelBurst {
+		return nil
+	}
+	if cap(proc.verdicts) < len(pkts) {
+		proc.verdicts = make([]uint8, len(pkts))
+	}
+	verdicts := proc.verdicts[:len(pkts)]
+	w := r.cfg.BatchWorkers
+	if w > len(pkts) {
+		w = len(pkts)
+	}
+	proc.wg.Add(w)
+	for s := 0; s < w; s++ {
+		r.csumCh <- csumJob{pkts: pkts, verdicts: verdicts, offset: s, stride: w, wg: &proc.wg}
+	}
+	proc.wg.Wait()
+	return verdicts
+}
+
+// handleBatch processes one delivered burst. Every buffer is owned by
+// this call for its duration (simnet.BatchHandler contract): the fast
+// path patches packets in place and sends them onward before returning.
+//
+// The burst fast path: the first packet of a run (the "leader") takes
+// the full pipeline — decode, ingress check, MAC verification, path
+// advance, egress resolution — and each follower whose header image is
+// byte-identical to the leader's as received provably shares every one
+// of those verdicts (the ingress check, MAC inputs, path transitions
+// and egress all derive from header bytes alone), so it only needs an
+// L4 decode plus the leader's patched header copied over it. One
+// pooled processor, one ifaces lookup and one egress SendBatch serve
+// the whole run. Runs end at the first differing header; leaders whose
+// packets dropped, or that examined a router-alert hop (alert handling
+// depends on L4 content), never start one.
+func (r *Router) handleBatch(pkts [][]byte, inIf uint16, origin originKind) {
+	r.metrics.Received.Add(uint64(len(pkts)))
+	proc := r.procs.Get().(*packetProcessor)
+	defer r.procs.Put(proc)
+	verdicts := r.preverify(proc, pkts)
+
+	i := 0
+	for i < len(pkts) {
+		raw := pkts[i]
+		if err := proc.pkt.Decode(raw); err != nil {
+			r.metrics.ParseFailures.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+			}
+			i++
+			continue
+		}
+		// The original header image must be captured before process
+		// patches the path state into raw in place.
+		hl := slayers.CmnHdrLen + proc.pkt.Hdr.Path.Len()
+		canBurst := i+1 < len(pkts) &&
+			len(pkts[i+1]) == len(raw) && bytes.Equal(pkts[i+1][:hl], raw[:hl])
+		if canBurst {
+			proc.refHdr = append(proc.refHdr[:0], raw[:hl]...)
+		}
+		d := r.process(proc, &proc.pkt, raw, inIf, origin)
+		if d.kind == kindDrop || d.alert || !canBurst {
+			r.emit(d)
+			i++
+			continue
+		}
+		i = r.runBurst(proc, pkts, i, hl, d, verdicts, inIf)
+	}
+}
+
+// runBurst extends the leader's decision d across same-flow followers
+// starting at pkts[lead+1] and flushes the coalesced egress burst; it
+// returns the index of the first packet not consumed. patched is the
+// leader's post-process header image (aliasing its buffer — the path
+// was patched in place), which is copied over each follower so the
+// whole run leaves with identical path state, exactly as per-packet
+// processing would have produced.
+func (r *Router) runBurst(proc *packetProcessor, pkts [][]byte, lead, hl int, d decision, verdicts []uint8, inIf uint16) int {
+	leader := pkts[lead]
+	patched := leader[:hl]
+	conn := r.conn
+	if d.kind == kindForward {
+		conn = d.out.conn
+	}
+	proc.wires = append(proc.wires[:0], d.wire)
+	proc.dests = append(proc.dests[:0], d.to)
+	if d.kind == kindForward {
+		proc.dests[0] = d.out.remote
+	}
+	j := lead + 1
+	for j < len(pkts) {
+		b := pkts[j]
+		if len(b) != len(leader) || !bytes.Equal(b[:hl], proc.refHdr) {
+			break
+		}
+		verified := false
+		if verdicts != nil {
+			if verdicts[j] == csumBad {
+				// Same accounting as the Decode failure this would be on
+				// the per-packet path.
+				r.metrics.ParseFailures.Add(1)
+				if r.trace.Sample() {
+					r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+				}
+				j++
+				continue
+			}
+			verified = true
+		}
+		if err := proc.pkt.DecodeSameFlow(b, hl, verified); err != nil {
+			r.metrics.ParseFailures.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
+			}
+			j++
+			continue
+		}
+		switch d.kind {
+		case kindForward:
+			copy(b[:hl], patched)
+			r.metrics.Forwarded.Add(1)
+			d.out.fwd.Inc()
+			if r.trace.Sample() {
+				var qd time.Duration
+				if r.cfg.QueueDelay != nil {
+					qd = r.cfg.QueueDelay(d.out.conn.LocalAddr(), d.out.remote)
+				}
+				r.tracePacket(telemetry.VerdictForwarded, inIf, d.egress, d.hopIdx, qd)
+			}
+			proc.wires = append(proc.wires, b)
+			proc.dests = append(proc.dests, d.out.remote)
+		case kindDeliver:
+			port, ok := r.localPort(&proc.pkt)
+			if !ok {
+				// Flush what has accumulated so the SCMP error keeps its
+				// per-packet position in the send order, then take the
+				// usual error path (quote b as received — unpatched).
+				r.flushBurst(proc, conn)
+				r.metrics.NoRouteDrops.Add(1)
+				if r.trace.Sample() {
+					r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, d.hopIdx, 0)
+				}
+				r.sendSCMPError(proc, &proc.pkt, b, &slayers.SCMP{
+					Type: slayers.SCMPDestinationUnreachable,
+					Code: slayers.CodePortUnreach,
+				})
+				j++
+				continue
+			}
+			copy(b[:hl], patched)
+			r.metrics.Delivered.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictDelivered, inIf, 0, d.hopIdx, 0)
+			}
+			proc.wires = append(proc.wires, b)
+			proc.dests = append(proc.dests, netip.AddrPortFrom(proc.pkt.Hdr.DstHost, port))
+		}
+		j++
+	}
+	r.flushBurst(proc, conn)
+	return j
+}
+
+// flushBurst sends the accumulated egress burst with one SendBatch —
+// one scheduling pass on the transport — and resets the scratch.
+func (r *Router) flushBurst(proc *packetProcessor, conn simnet.Conn) {
+	if len(proc.wires) == 0 {
+		return
+	}
+	_ = conn.SendBatch(proc.wires, proc.dests)
+	proc.wires = proc.wires[:0]
+	proc.dests = proc.dests[:0]
+}
+
+// process runs the forwarding pipeline and returns what it decided —
+// the send itself is the caller's job (emit for a single packet,
+// runBurst's coalesced SendBatch for a burst). pkt is the decoded
+// packet and raw the buffer it was decoded from (nil for
+// router-originated packets, which have no wire image yet). inIf is the
+// arrival interface (meaningful only for originExternal).
+func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16, origin originKind) decision {
 	// Empty path: AS-local delivery only.
 	if pkt.Hdr.Path.IsEmpty() {
 		if pkt.Hdr.DstIA == r.cfg.IA && origin != originExternal {
-			r.deliverLocal(proc, pkt, raw, inIf)
-			return
+			return r.deliverLocal(proc, pkt, raw, inIf)
 		}
 		r.metrics.NoRouteDrops.Add(1)
 		if r.trace.Sample() {
 			r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, 0, 0)
 		}
-		return
+		return decision{}
 	}
 
 	first := true
+	alerted := false
 	for {
 		info, err := pkt.Hdr.Path.CurrentInfo()
 		if err != nil {
@@ -336,7 +629,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			if r.trace.Sample() {
 				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
 			}
-			return
+			return decision{}
 		}
 		hop, err := pkt.Hdr.Path.CurrentHop()
 		if err != nil {
@@ -344,9 +637,12 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			if r.trace.Sample() {
 				r.tracePacket(telemetry.VerdictParseErr, inIf, 0, 0, 0)
 			}
-			return
+			return decision{}
 		}
 		hopIdx := uint8(pkt.Hdr.Path.CurrHF)
+		if hop.RouterAlert {
+			alerted = true
+		}
 
 		// Ingress check on the first processed hop. Self-originated
 		// packets (SCMP replies on a mid-flight reversed path) skip it:
@@ -361,7 +657,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 					if r.trace.Sample() {
 						r.tracePacket(telemetry.VerdictIngressDrop, inIf, 0, hopIdx, 0)
 					}
-					return
+					return decision{}
 				}
 			case originInternal:
 				if wantIn != 0 {
@@ -369,7 +665,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 					if r.trace.Sample() {
 						r.tracePacket(telemetry.VerdictIngressDrop, inIf, 0, hopIdx, 0)
 					}
-					return
+					return decision{}
 				}
 			}
 			first = false
@@ -403,32 +699,33 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 				Type:    slayers.SCMPParameterProblem,
 				Pointer: uint16(pkt.Hdr.Path.CurrHF),
 			})
-			return
+			return decision{}
 		}
 
 		// Traceroute: answer router-alert hops addressed to us.
 		if hop.RouterAlert && pkt.SCMP != nil && pkt.SCMP.Type == slayers.SCMPTracerouteRequest {
 			r.answerTraceroute(proc, pkt, spath.DataIngress(info, hop))
-			return
+			return decision{}
 		}
 
 		egress := spath.DataEgress(info, hop)
 		if pkt.Hdr.Path.IsLastHop() {
 			if egress == 0 && pkt.Hdr.DstIA == r.cfg.IA {
-				r.deliverLocal(proc, pkt, raw, inIf)
-			} else {
-				r.metrics.NoRouteDrops.Add(1)
-				if r.trace.Sample() {
-					r.tracePacket(telemetry.VerdictNoRoute, inIf, egress, hopIdx, 0)
-				}
-				if egress == 0 {
-					r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
-						Type: slayers.SCMPDestinationUnreachable,
-						Code: slayers.CodeNoRoute,
-					})
-				}
+				d := r.deliverLocal(proc, pkt, raw, inIf)
+				d.alert = alerted
+				return d
 			}
-			return
+			r.metrics.NoRouteDrops.Add(1)
+			if r.trace.Sample() {
+				r.tracePacket(telemetry.VerdictNoRoute, inIf, egress, hopIdx, 0)
+			}
+			if egress == 0 {
+				r.sendSCMPError(proc, pkt, raw, &slayers.SCMP{
+					Type: slayers.SCMPDestinationUnreachable,
+					Code: slayers.CodeNoRoute,
+				})
+			}
+			return decision{}
 		}
 		if pkt.Hdr.Path.IsLastHopOfSegment() && !(peerCross && egress != 0) {
 			// Segment crossover (XOVER): the next segment's first hop
@@ -439,7 +736,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			// starts the next segment.
 			if err := pkt.Hdr.Path.IncHop(); err != nil {
 				r.metrics.ParseFailures.Add(1)
-				return
+				return decision{}
 			}
 			continue
 		}
@@ -450,10 +747,11 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			if r.trace.Sample() {
 				r.tracePacket(telemetry.VerdictNoRoute, inIf, 0, hopIdx, 0)
 			}
-			return
+			return decision{}
 		}
 
-		// Forward out of egress.
+		// Forward out of egress: one ifaces lookup — shared by the whole
+		// burst when this packet leads one.
 		r.mu.RLock()
 		out, ok := r.ifaces[egress]
 		r.mu.RUnlock()
@@ -466,7 +764,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 				Type: slayers.SCMPDestinationUnreachable,
 				Code: slayers.CodeNoRoute,
 			})
-			return
+			return decision{}
 		}
 		if !r.linkUp(egress) {
 			r.metrics.LinkDownDrops.Add(1)
@@ -479,16 +777,16 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 				IA:   addr.IA(r.cfg.IA),
 				IfID: uint64(egress),
 			})
-			return
+			return decision{}
 		}
 		if err := pkt.Hdr.Path.IncHop(); err != nil {
 			r.metrics.ParseFailures.Add(1)
-			return
+			return decision{}
 		}
 		wire, err := r.wireImage(proc, pkt, raw)
 		if err != nil {
 			r.metrics.ParseFailures.Add(1)
-			return
+			return decision{}
 		}
 		r.metrics.Forwarded.Add(1)
 		out.fwd.Inc()
@@ -501,8 +799,7 @@ func (r *Router) process(proc *packetProcessor, pkt *slayers.Packet, raw []byte,
 			}
 			r.tracePacket(telemetry.VerdictForwarded, inIf, egress, hopIdx, qd)
 		}
-		_ = out.conn.Send(wire, out.remote)
-		return
+		return decision{kind: kindForward, out: out, wire: wire, egress: egress, hopIdx: hopIdx, alert: alerted}
 	}
 }
 
@@ -527,10 +824,12 @@ func (r *Router) wireImage(proc *packetProcessor, pkt *slayers.Packet, raw []byt
 	return out, nil
 }
 
-// deliverLocal hands the packet to the destination end host over the
-// intra-AS underlay: directly to the application's UDP port in
-// dispatcherless mode, or to the shared dispatcher port.
-func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16) {
+// deliverLocal resolves delivery of the packet to the destination end
+// host over the intra-AS underlay: directly to the application's UDP
+// port in dispatcherless mode, or to the shared dispatcher port. The
+// returned decision carries the wire image and underlay destination;
+// the caller emits it (or batches it into a burst).
+func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []byte, inIf uint16) decision {
 	port, ok := r.localPort(pkt)
 	if !ok {
 		r.metrics.NoRouteDrops.Add(1)
@@ -541,18 +840,23 @@ func (r *Router) deliverLocal(proc *packetProcessor, pkt *slayers.Packet, raw []
 			Type: slayers.SCMPDestinationUnreachable,
 			Code: slayers.CodePortUnreach,
 		})
-		return
+		return decision{}
 	}
 	wire, err := r.wireImage(proc, pkt, raw)
 	if err != nil {
 		r.metrics.ParseFailures.Add(1)
-		return
+		return decision{}
 	}
 	r.metrics.Delivered.Add(1)
 	if r.trace.Sample() {
 		r.tracePacket(telemetry.VerdictDelivered, inIf, 0, uint8(pkt.Hdr.Path.CurrHF), 0)
 	}
-	_ = r.conn.Send(wire, netip.AddrPortFrom(pkt.Hdr.DstHost, port))
+	return decision{
+		kind:   kindDeliver,
+		wire:   wire,
+		to:     netip.AddrPortFrom(pkt.Hdr.DstHost, port),
+		hopIdx: uint8(pkt.Hdr.Path.CurrHF),
+	}
 }
 
 // localPort determines the underlay port for local delivery.
@@ -660,8 +964,9 @@ func (r *Router) answerTraceroute(proc *packetProcessor, req *slayers.Packet, if
 }
 
 // inject runs a router-originated packet through the forwarding
-// pipeline. The packet has no wire image yet (raw == nil): if it leaves
-// the router it is serialized into the processor's scratch buffer.
+// pipeline and emits the result. The packet has no wire image yet
+// (raw == nil): if it leaves the router it is serialized into the
+// processor's scratch buffer.
 func (r *Router) inject(proc *packetProcessor, pkt *slayers.Packet) {
-	r.process(proc, pkt, nil, 0, originSelf)
+	r.emit(r.process(proc, pkt, nil, 0, originSelf))
 }

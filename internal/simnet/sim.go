@@ -42,7 +42,7 @@ type Sim struct {
 	now      time.Time
 	events   eventQueue
 	seq      uint64
-	handlers map[netip.AddrPort]Handler
+	handlers map[netip.AddrPort]binding
 	nextHost uint32
 	nextPort map[netip.Addr]uint16
 	// delivered/dropped/inflight are telemetry cells (atomic, so they
@@ -57,13 +57,25 @@ type Sim struct {
 	// Timer events are never pooled: their cancel closures outlive the
 	// firing and would otherwise cancel a recycled event.
 	evPool sync.Pool
+	// batch* are the reusable scratch slices for coalesced delivery to
+	// batch-bound destinations; only the event-loop goroutine touches
+	// them, between popping a burst and recycling its events.
+	batchEvs  []*event
+	batchPkts [][]byte
+	batchFrom []netip.AddrPort
+}
+
+// binding is one attached listener: exactly one of h/bh is set.
+type binding struct {
+	h  Handler
+	bh BatchHandler
 }
 
 // NewSim creates a simulator starting at the given time.
 func NewSim(start time.Time) *Sim {
 	return &Sim{
 		now:      start,
-		handlers: make(map[netip.AddrPort]Handler),
+		handlers: make(map[netip.AddrPort]binding),
 		nextHost: 1,
 		nextPort: make(map[netip.Addr]uint16),
 		evPool:   sync.Pool{New: func() any { return new(event) }},
@@ -81,8 +93,26 @@ type event struct {
 	pkt      []byte
 	from, to netip.AddrPort
 	idx      int
+	// pkts, when non-empty, makes this a merged delivery event: a run of
+	// same-sender same-destination datagrams with one delivery time,
+	// scheduled by SendBatch as one heap entry (one push, one pop, one
+	// handler resolution for the whole run). Element backing arrays are
+	// recycled with the event, like pkt.
+	pkts [][]byte
 	// cancelled timers stay in the queue but do nothing.
 	cancelled bool
+}
+
+// appendPkt adds a copy of pkt to a merged delivery event, reusing the
+// per-slot buffers a recycled event retains beyond len(pkts).
+func (e *event) appendPkt(pkt []byte) {
+	if len(e.pkts) < cap(e.pkts) {
+		e.pkts = e.pkts[:len(e.pkts)+1]
+	} else {
+		e.pkts = append(e.pkts, nil)
+	}
+	i := len(e.pkts) - 1
+	e.pkts[i] = append(e.pkts[i][:0], pkt...)
 }
 
 type eventQueue []*event
@@ -101,6 +131,7 @@ func (q *eventQueue) Pop() interface{} {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1 // no longer in the heap; guards cancel-after-pop
 	*q = old[:n-1]
 	return e
 }
@@ -138,6 +169,17 @@ func (s *Sim) allocAddrLocked() netip.Addr {
 
 // Listen implements Network.
 func (s *Sim) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
+	return s.listen(preferred, binding{h: h})
+}
+
+// ListenBatch implements Network. Deliveries to a batch-bound address
+// that are consecutive in (timestamp, seq) order are coalesced into one
+// handler call (see Step).
+func (s *Sim) ListenBatch(preferred netip.AddrPort, h BatchHandler) (Conn, error) {
+	return s.listen(preferred, binding{bh: h})
+}
+
+func (s *Sim) listen(preferred netip.AddrPort, b binding) (Conn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a := preferred
@@ -156,7 +198,7 @@ func (s *Sim) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
 	if _, used := s.handlers[a]; used {
 		return nil, fmt.Errorf("%w: %v", ErrAddrInUse, a)
 	}
-	s.handlers[a] = h
+	s.handlers[a] = b
 	return &simConn{sim: s, addr: a}, nil
 }
 
@@ -189,7 +231,10 @@ func (s *Sim) Now() time.Time {
 	return s.now
 }
 
-// AfterFunc implements Network.
+// AfterFunc implements Network. Cancelling removes the timer from the
+// event heap immediately — retry/timeout-heavy workloads set and cancel
+// far more timers than they let fire, and tombstoned corpses would grow
+// the heap without bound while costing Step a lock round-trip each.
 func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -197,7 +242,13 @@ func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
 	return func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		if e.cancelled {
+			return
+		}
 		e.cancelled = true
+		if e.idx >= 0 && e.idx < len(s.events) && s.events[e.idx] == e {
+			heap.Remove(&s.events, e.idx)
+		}
 	}
 }
 
@@ -209,27 +260,104 @@ func (s *Sim) scheduleLocked(at time.Time, f func()) *event {
 }
 
 type simConn struct {
-	sim    *Sim
-	addr   netip.AddrPort
+	sim  *Sim
+	addr netip.AddrPort
+	// closed is guarded by sim.mu — the same lock under which sends are
+	// scheduled — so a Send racing Close either schedules entirely
+	// before the close or deterministically returns ErrClosed after it;
+	// no datagram can leave a conn once Close has returned.
 	closed bool
-	mu     sync.Mutex
 }
 
 func (c *simConn) LocalAddr() netip.AddrPort { return c.addr }
 
 func (c *simConn) Send(pkt []byte, to netip.AddrPort) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	c.mu.Unlock()
-
 	s := c.sim
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	from := c.addr
+	if c.closed {
+		return ErrClosed
+	}
+	s.sendLocked(c.addr, pkt, to)
+	return nil
+}
 
+// SendBatch implements Conn: the whole burst is scheduled under one
+// lock acquisition (and one closed check), in order, with the same
+// per-datagram semantics as Send. Runs of consecutive datagrams that
+// share a destination and a delivery time are merged into one heap
+// event, so a burst costs one push/pop/handler-resolution instead of
+// one per packet; the run boundaries are exactly where per-packet
+// scheduling would have produced a different delivery time or
+// destination, so execution order — and therefore every downstream
+// observation — is identical to per-packet sends.
+func (c *simConn) SendBatch(pkts [][]byte, dests []netip.AddrPort) error {
+	if len(pkts) != len(dests) {
+		return fmt.Errorf("simnet: SendBatch: %d packets, %d destinations", len(pkts), len(dests))
+	}
+	s := c.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	i := 0
+	for i < len(pkts) {
+		to := dests[i]
+		if to.Addr() == BroadcastAddr {
+			// Fan-out duplicates the datagram across listeners; merging
+			// does not apply.
+			s.sendLocked(c.addr, pkts[i], to)
+			i++
+			continue
+		}
+		var run *event
+		var runAt time.Time
+		for i < len(pkts) && dests[i] == to {
+			pkt := pkts[i]
+			i++
+			delay := time.Duration(0)
+			deliver := true
+			if s.Latency != nil {
+				delay, deliver = s.Latency(c.addr, to, len(pkt), s.now)
+			}
+			if !deliver {
+				s.dropped.Inc()
+				continue // loss is silent; the run continues either side
+			}
+			at := s.now.Add(delay)
+			if run == nil || !at.Equal(runAt) {
+				// Delivery time changed (e.g. a busy capped wire spacing
+				// packets out): the merged run ends where per-packet
+				// events would stop coinciding.
+				run = s.newDeliveryLocked(c.addr, to, at)
+				runAt = at
+			}
+			run.appendPkt(pkt)
+			s.inflight.Inc()
+		}
+	}
+	return nil
+}
+
+// newDeliveryLocked allocates (or recycles) a merged delivery event and
+// schedules it; packets are appended by the caller.
+func (s *Sim) newDeliveryLocked(from, to netip.AddrPort, at time.Time) *event {
+	e := s.evPool.Get().(*event)
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	e.fn = nil
+	e.cancelled = false
+	e.pkt = e.pkt[:0]
+	e.pkts = e.pkts[:0]
+	e.from, e.to = from, to
+	heap.Push(&s.events, e)
+	return e
+}
+
+// sendLocked schedules one datagram from `from`; the caller holds s.mu.
+func (s *Sim) sendLocked(from netip.AddrPort, pkt []byte, to netip.AddrPort) {
 	if to.Addr() == BroadcastAddr {
 		// Fan out to every listener on the port except the sender.
 		// Destinations are sorted before scheduling so the delivery
@@ -247,10 +375,9 @@ func (c *simConn) Send(pkt []byte, to netip.AddrPort) error {
 		for _, dest := range dests {
 			s.deliverLocked(pkt, from, dest)
 		}
-		return nil
+		return
 	}
 	s.deliverLocked(pkt, from, to)
-	return nil
 }
 
 func compareAddrPort(a, b netip.AddrPort) int {
@@ -281,20 +408,20 @@ func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
 	e.fn = nil
 	e.cancelled = false
 	e.pkt = append(e.pkt[:0], pkt...)
+	e.pkts = e.pkts[:0] // a recycled merged event becomes single-delivery
 	e.from, e.to = from, to
 	heap.Push(&s.events, e)
 }
 
 func (c *simConn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
 	c.closed = true
-	c.sim.mu.Lock()
-	delete(c.sim.handlers, c.addr)
-	c.sim.mu.Unlock()
+	delete(s.handlers, c.addr)
 	return nil
 }
 
@@ -322,22 +449,91 @@ func (s *Sim) Step() bool {
 		// outcome in the same locked section. A conn that closed
 		// between send and delivery loses the datagram — counted as
 		// dropped so Stats() conserves datagrams.
-		h := s.handlers[e.to]
+		b := s.handlers[e.to]
+		if b.bh != nil {
+			s.deliverBatchLocked(e, b.bh)
+			return true
+		}
+		if n := len(e.pkts); n > 0 {
+			// Merged run delivered to a per-packet listener: one lock
+			// round-trip and one event for the run, then the handler is
+			// invoked once per datagram, in order.
+			s.inflight.Add(-int64(n))
+			if b.h == nil {
+				s.dropped.Add(uint64(n))
+			} else {
+				s.delivered.Add(uint64(n))
+			}
+			s.mu.Unlock()
+			if b.h != nil {
+				for _, pkt := range e.pkts {
+					b.h(pkt, e.from)
+				}
+			}
+			s.evPool.Put(e)
+			return true
+		}
 		s.inflight.Dec()
-		if h == nil {
+		if b.h == nil {
 			s.dropped.Inc()
 		} else {
 			s.delivered.Inc()
 		}
 		s.mu.Unlock()
-		if h != nil {
-			h(e.pkt, e.from)
+		if b.h != nil {
+			b.h(e.pkt, e.from)
 		}
 		// The handler has returned and must not have retained e.pkt;
 		// recycle the event together with its buffer.
 		s.evPool.Put(e)
 		return true
 	}
+}
+
+// deliverBatchLocked coalesces the popped delivery event e with every
+// immediately following event in (timestamp, seq) order that is also a
+// delivery to the same batch-bound destination, and hands the burst to
+// the batch handler as one call with one lock round-trip. Coalescing
+// stops at the first intervening timer or foreign-destination event, so
+// the burst is exactly a run of deliveries nothing else could have
+// interleaved — per-packet execution would have observed the identical
+// order, which is what keeps batch-bound runs byte-identical to
+// unbatched ones. Called with s.mu held; unlocks before the handler.
+func (s *Sim) deliverBatchLocked(e *event, bh BatchHandler) {
+	evs := append(s.batchEvs[:0], e)
+	for s.events.Len() > 0 {
+		top := s.events[0]
+		if top.fn != nil || top.to != e.to || !top.at.Equal(e.at) {
+			break
+		}
+		evs = append(evs, heap.Pop(&s.events).(*event))
+	}
+	pkts := s.batchPkts[:0]
+	froms := s.batchFrom[:0]
+	for _, ev := range evs {
+		if len(ev.pkts) > 0 { // merged run: expand in order
+			for _, p := range ev.pkts {
+				pkts = append(pkts, p)
+				froms = append(froms, ev.from)
+			}
+			continue
+		}
+		pkts = append(pkts, ev.pkt)
+		froms = append(froms, ev.from)
+	}
+	s.inflight.Add(-int64(len(pkts)))
+	s.delivered.Add(uint64(len(pkts)))
+	s.mu.Unlock()
+	bh(pkts, froms)
+	// The handler has returned and must not have retained any buffer;
+	// recycle the whole burst and keep the scratch capacity.
+	for i, ev := range evs {
+		s.evPool.Put(ev)
+		evs[i] = nil
+	}
+	s.batchEvs = evs[:0]
+	s.batchPkts = pkts[:0]
+	s.batchFrom = froms[:0]
 }
 
 // Run drains all events (use with care: periodic timers run forever;

@@ -313,3 +313,77 @@ func TestConcurrentSendCloseListen(t *testing.T) {
 			delivered, dropped, workers*rounds)
 	}
 }
+
+// TestConcurrentSendClose is the sender-side companion stress test: for
+// each conn one goroutine hammers Send/SendBatch while another closes
+// the conn mid-stream. Under -race this pins the fix for the
+// check-closed-then-schedule window (closed-ness now lives under the
+// scheduling lock); the assertions pin its determinism — every send
+// either fully succeeds before the close or fails with ErrClosed, and
+// once Close has returned no later send can slip a datagram out.
+func TestConcurrentSendClose(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	sink, err := s.Listen(netip.AddrPort{}, func([]byte, netip.AddrPort) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := sink.LocalAddr()
+
+	const conns = 16
+	var sent atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		c, err := s.Listen(netip.AddrPort{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			buf := []byte("payload")
+			batch := [][]byte{[]byte("b0"), []byte("b1")}
+			dests := []netip.AddrPort{to, to}
+			for n := 0; ; n++ {
+				var err error
+				var k uint64 = 1
+				if n%2 == 0 {
+					err = c.Send(buf, to)
+				} else {
+					err = c.SendBatch(batch, dests)
+					k = 2
+				}
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("send failed with %v, want ErrClosed", err)
+					}
+					return
+				}
+				sent.Add(k)
+				if n == 0 {
+					close(closed) // let the closer go once traffic flows
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-closed
+			if err := c.Close(); err != nil {
+				t.Errorf("close: %v", err)
+				return
+			}
+			// Deterministic post-condition: Close has returned, so any
+			// further send must fail — no race, no lost window.
+			if err := c.Send([]byte("late"), to); !errors.Is(err, ErrClosed) {
+				t.Errorf("Send after Close = %v, want ErrClosed", err)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Run()
+	delivered, dropped := s.Stats()
+	if delivered+dropped != sent.Load() {
+		t.Fatalf("conservation violated: delivered %d + dropped %d != sent %d",
+			delivered, dropped, sent.Load())
+	}
+}

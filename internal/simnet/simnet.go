@@ -54,6 +54,15 @@ import (
 // handlers may mutate it in place but must copy anything they retain.
 type Handler func(pkt []byte, from netip.AddrPort)
 
+// BatchHandler processes a burst of datagrams delivered back-to-back:
+// pkts[i] arrived from from[i], in arrival order. The same no-blocking
+// and buffer-ownership rules as Handler apply to every buffer in the
+// batch, and the pkts/from slices themselves are transport scratch —
+// valid only for the duration of the call. A batch is never empty; a
+// transport that cannot coalesce (or has nothing to coalesce with)
+// delivers batches of one.
+type BatchHandler func(pkts [][]byte, from []netip.AddrPort)
+
 // Conn is an attachment point able to send datagrams.
 type Conn interface {
 	// LocalAddr returns the bound address.
@@ -62,6 +71,13 @@ type Conn interface {
 	// returning: the caller keeps ownership of the buffer and may
 	// reuse it immediately.
 	Send(pkt []byte, to netip.AddrPort) error
+	// SendBatch transmits a burst, pkts[i] to dests[i], in order, with
+	// the same semantics as len(pkts) consecutive Send calls — same
+	// copying, same delivery order — but a single scheduling pass (on
+	// the simulator: one lock acquisition for the whole burst). The two
+	// slices must have equal length. On error, a prefix of the burst
+	// may already have been sent.
+	SendBatch(pkts [][]byte, dests []netip.AddrPort) error
 	// Close detaches the conn; the handler will not be invoked again.
 	Close() error
 }
@@ -72,6 +88,10 @@ type Network interface {
 	// requests automatic assignment; the simulator additionally accepts
 	// a zero AddrPort and allocates a fresh address.
 	Listen(preferred netip.AddrPort, h Handler) (Conn, error)
+	// ListenBatch is Listen with a burst-aware handler: datagrams that
+	// arrive back-to-back (on the simulator, consecutive in event
+	// order at one virtual instant) are handed over as one batch.
+	ListenBatch(preferred netip.AddrPort, h BatchHandler) (Conn, error)
 	// Now returns the transport's notion of current time.
 	Now() time.Time
 	// AfterFunc schedules f after d; the returned function cancels.

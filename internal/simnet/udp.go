@@ -39,6 +39,18 @@ func (n *UDPNet) Listen(preferred netip.AddrPort, h Handler) (Conn, error) {
 	return c, nil
 }
 
+// ListenBatch implements Network. Real sockets surface one datagram per
+// read, so batches always have size one; the wrapping slices are reused
+// across calls (safe: one read goroutine per conn).
+func (n *UDPNet) ListenBatch(preferred netip.AddrPort, h BatchHandler) (Conn, error) {
+	pkts := make([][]byte, 1)
+	froms := make([]netip.AddrPort, 1)
+	return n.Listen(preferred, func(pkt []byte, from netip.AddrPort) {
+		pkts[0], froms[0] = pkt, from
+		h(pkts, froms)
+	})
+}
+
 // Now implements Network.
 func (n *UDPNet) Now() time.Time { return time.Now() }
 
@@ -72,6 +84,21 @@ func (c *udpConn) LocalAddr() netip.AddrPort {
 func (c *udpConn) Send(pkt []byte, to netip.AddrPort) error {
 	_, err := c.uc.WriteToUDPAddrPort(pkt, to)
 	return err
+}
+
+// SendBatch implements Conn. The kernel offers no sendmmsg through this
+// API surface, so the burst degenerates to consecutive writes; an error
+// aborts the rest of the burst (a prefix may have been sent).
+func (c *udpConn) SendBatch(pkts [][]byte, dests []netip.AddrPort) error {
+	if len(pkts) != len(dests) {
+		return fmt.Errorf("simnet: SendBatch: %d packets, %d destinations", len(pkts), len(dests))
+	}
+	for i, pkt := range pkts {
+		if _, err := c.uc.WriteToUDPAddrPort(pkt, dests[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *udpConn) Close() error {

@@ -177,6 +177,15 @@ type Packet struct {
 	// scratch reuses the SCMP struct across decodes.
 	scmpScratch SCMP
 	udpScratch  UDP
+	// phScratch caches the checksum pseudo-header built by the last
+	// full Decode. DecodeSameFlow reuses it directly: its caller
+	// guarantees a byte-identical header image (addresses, proto) and
+	// total length, so the pseudo-header of every follower in a burst
+	// equals the leader's. Invalidated by DecodeTruncated, which leaves
+	// Hdr only partially populated.
+	phScratch [52]byte
+	phSum     uint64
+	phValid   bool
 }
 
 // totalLen computes the serialized packet length, validating the L4
@@ -278,6 +287,7 @@ func (p *Packet) PatchPath(raw []byte) error {
 // Decode parses a full packet. The payload slice aliases b (NoCopy-style);
 // callers that retain the payload beyond the lifetime of b must copy it.
 func (p *Packet) Decode(b []byte) error {
+	p.phValid = false
 	hl, total, err := p.Hdr.decodeFrom(b)
 	if err != nil {
 		return err
@@ -289,7 +299,9 @@ func (p *Packet) Decode(b []byte) error {
 		if len(l4) < udpHdrLen {
 			return ErrTruncated
 		}
-		if got := checksum(pseudoHeader(&p.Hdr, ProtoUDP, len(l4)), l4); got != 0 {
+		p.phScratch = pseudoHeader(&p.Hdr, ProtoUDP, len(l4))
+		p.phSum, p.phValid = sum16(p.phScratch[:], 0), true
+		if got := foldChecksum(sum16(l4, p.phSum)); got != 0 {
 			return fmt.Errorf("slayers: UDP checksum mismatch (%#04x)", got)
 		}
 		p.udpScratch.SrcPort = binary.BigEndian.Uint16(l4[0:2])
@@ -300,8 +312,110 @@ func (p *Packet) Decode(b []byte) error {
 		p.UDP = &p.udpScratch
 		p.Payload = l4[udpHdrLen:]
 	case ProtoSCMP:
-		if got := checksum(pseudoHeader(&p.Hdr, ProtoSCMP, len(l4)), l4); got != 0 {
+		p.phScratch = pseudoHeader(&p.Hdr, ProtoSCMP, len(l4))
+		p.phSum, p.phValid = sum16(p.phScratch[:], 0), true
+		if got := foldChecksum(sum16(l4, p.phSum)); got != 0 {
 			return fmt.Errorf("slayers: SCMP checksum mismatch (%#04x)", got)
+		}
+		n, err := p.scmpScratch.decodeFrom(l4)
+		if err != nil {
+			return err
+		}
+		p.SCMP = &p.scmpScratch
+		p.Payload = l4[n:]
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownProto, p.Hdr.NextHdr)
+	}
+	return nil
+}
+
+// VerifyChecksum validates the L4 checksum of a serialized packet
+// straight from the wire bytes, without decoding anything. It performs
+// the same shape checks Decode would (length-field consistency, known
+// L4 protocol) and then folds the pseudo-header directly from the raw
+// header bytes. It is safe to call concurrently on distinct buffers —
+// the router's burst pre-verification fans it out across workers while
+// the decoded header state stays with the sequential pipeline.
+func VerifyChecksum(b []byte) error {
+	if len(b) < CmnHdrLen {
+		return ErrTruncated
+	}
+	if b[0] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[4:6]))
+	hdrLen := int(binary.BigEndian.Uint16(b[6:8]))
+	if hdrLen < CmnHdrLen || hdrLen > totalLen || totalLen != len(b) {
+		return fmt.Errorf("%w: hdr=%d total=%d buf=%d", ErrBadLength, hdrLen, totalLen, len(b))
+	}
+	proto := b[2]
+	if proto != ProtoUDP && proto != ProtoSCMP {
+		return fmt.Errorf("%w: %d", ErrUnknownProto, proto)
+	}
+	l4 := b[hdrLen:totalLen]
+	// The pseudo-header from raw bytes: wire order is DstIA, SrcIA,
+	// DstHost, SrcHost; the pseudo-header wants Src before Dst.
+	var ph [52]byte
+	copy(ph[0:8], b[16:24])
+	copy(ph[8:16], b[8:16])
+	copy(ph[16:32], b[40:56])
+	copy(ph[32:48], b[24:40])
+	binary.BigEndian.PutUint16(ph[48:50], uint16(len(l4)))
+	ph[51] = proto
+	if got := checksum(ph, l4); got != 0 {
+		return fmt.Errorf("slayers: checksum mismatch (%#04x)", got)
+	}
+	return nil
+}
+
+// DecodeSameFlow decodes only the L4 section of b into p, reusing the
+// header state already in p from a previous full Decode of a packet
+// with a byte-identical header image. The caller guarantees (typically
+// with one bytes.Equal over the first hdrLen bytes, which covers
+// TotalLen) that b[:hdrLen] matches the reference packet's header as
+// received and that len(b) equals its total length; the addresses and
+// NextHdr in p.Hdr are then valid for b too and feed the checksum
+// pseudo-header, while the path state is not consulted at all (it may
+// have advanced past the reference decode). With csumVerified set the
+// checksum is skipped — the router's batch path pre-verifies a burst's
+// checksums in parallel with VerifyChecksum before consuming verdicts
+// in order.
+func (p *Packet) DecodeSameFlow(b []byte, hdrLen int, csumVerified bool) error {
+	if hdrLen < CmnHdrLen || hdrLen > len(b) {
+		return ErrTruncated
+	}
+	l4 := b[hdrLen:]
+	p.UDP, p.SCMP = nil, nil
+	switch p.Hdr.NextHdr {
+	case ProtoUDP:
+		if len(l4) < udpHdrLen {
+			return ErrTruncated
+		}
+		if !csumVerified {
+			if !p.phValid {
+				p.phScratch = pseudoHeader(&p.Hdr, ProtoUDP, len(l4))
+				p.phSum, p.phValid = sum16(p.phScratch[:], 0), true
+			}
+			if got := foldChecksum(sum16(l4, p.phSum)); got != 0 {
+				return fmt.Errorf("slayers: UDP checksum mismatch (%#04x)", got)
+			}
+		}
+		p.udpScratch.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		p.udpScratch.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		if int(binary.BigEndian.Uint16(l4[4:6])) != len(l4) {
+			return fmt.Errorf("%w: UDP length", ErrBadLength)
+		}
+		p.UDP = &p.udpScratch
+		p.Payload = l4[udpHdrLen:]
+	case ProtoSCMP:
+		if !csumVerified {
+			if !p.phValid {
+				p.phScratch = pseudoHeader(&p.Hdr, ProtoSCMP, len(l4))
+				p.phSum, p.phValid = sum16(p.phScratch[:], 0), true
+			}
+			if got := foldChecksum(sum16(l4, p.phSum)); got != 0 {
+				return fmt.Errorf("slayers: SCMP checksum mismatch (%#04x)", got)
+			}
 		}
 		n, err := p.scmpScratch.decodeFrom(l4)
 		if err != nil {
@@ -326,6 +440,7 @@ func (p *Packet) Decode(b []byte) error {
 // the path) must be complete — a quote shorter than its own header
 // identifies nothing and is rejected.
 func (p *Packet) DecodeTruncated(b []byte) error {
+	p.phValid = false
 	if len(b) < CmnHdrLen {
 		return ErrTruncated
 	}
@@ -404,18 +519,34 @@ func pseudoHeader(h *SCION, proto uint8, l4Len int) [52]byte {
 // checksum computes the Internet ones-complement checksum over the
 // pseudo-header and the L4 bytes.
 func checksum(ph [52]byte, l4 []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(ph); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(ph[i : i+2]))
-	}
-	for i := 0; i+1 < len(l4); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(l4[i : i+2]))
-	}
-	if len(l4)%2 == 1 {
-		sum += uint32(l4[len(l4)-1]) << 8
-	}
+	return foldChecksum(sum16(l4, sum16(ph[:], 0)))
+}
+
+// foldChecksum folds an unfolded sum16 accumulator down to the final
+// ones-complement checksum.
+func foldChecksum(sum uint64) uint16 {
 	for sum > 0xffff {
 		sum = sum&0xffff + sum>>16
 	}
 	return ^uint16(sum)
+}
+
+// sum16 accumulates b as big-endian 16-bit words into sum (no folding),
+// eight bytes per step on the aligned middle. A uint64 accumulator
+// cannot overflow before folding: each step adds < 2^18, so well over
+// 2^45 bytes would be needed.
+func sum16(b []byte, sum uint64) uint64 {
+	for len(b) >= 8 {
+		v := binary.BigEndian.Uint64(b)
+		sum += v>>48 + v>>32&0xffff + v>>16&0xffff + v&0xffff
+		b = b[8:]
+	}
+	for len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint64(b[0]) << 8
+	}
+	return sum
 }

@@ -76,7 +76,7 @@ func (t *Topology) ShortestRoute(src, dst addr.IA, w Weight) *Route {
 			continue
 		}
 		for _, l := range t.byIA[cur.ia] {
-			if !l.up {
+			if !l.up.Load() {
 				continue
 			}
 			cost := w(l)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sciera/internal/addr"
 )
@@ -62,8 +63,13 @@ type Link struct {
 	// Name optionally labels the physical circuit (e.g. "CAE-1").
 	Name string
 
-	up bool
+	// up is atomic so the data plane's per-packet latency model can
+	// read link state without contending on the topology lock.
+	up atomic.Bool
 }
+
+// Up reports link state lock-free.
+func (l *Link) Up() bool { return l.up.Load() }
 
 // SetBandwidth sets the link's capacity (Mbit/s; 0 = unconstrained).
 func (l *Link) SetBandwidth(mbps float64) { l.BandwidthMbps = mbps }
@@ -238,8 +244,8 @@ func (t *Topology) AddLink(a, b LinkEnd, typ LinkType, latencyMS float64, name s
 		Type:      typ,
 		LatencyMS: latencyMS,
 		Name:      name,
-		up:        true,
 	}
+	l.up.Store(true)
 	t.links = append(t.links, l)
 	t.byIA[a.IA] = append(t.byIA[a.IA], l)
 	t.byIA[b.IA] = append(t.byIA[b.IA], l)
@@ -288,7 +294,7 @@ func (t *Topology) SetLinkUp(id int, up bool) error {
 	if id < 0 || id >= len(t.links) {
 		return fmt.Errorf("%w: %d", ErrUnknownLink, id)
 	}
-	t.links[id].up = up
+	t.links[id].up.Store(up)
 	return nil
 }
 
@@ -299,7 +305,7 @@ func (t *Topology) LinkUp(id int) bool {
 	if id < 0 || id >= len(t.links) {
 		return false
 	}
-	return t.links[id].up
+	return t.links[id].up.Load()
 }
 
 // UpLinksOf returns the currently-up links of an AS.
@@ -308,7 +314,7 @@ func (t *Topology) UpLinksOf(ia addr.IA) []*Link {
 	defer t.mu.RUnlock()
 	var out []*Link
 	for _, l := range t.byIA[ia] {
-		if l.up {
+		if l.up.Load() {
 			out = append(out, l)
 		}
 	}
