@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard verify bench bench-micro bench-campaign bench-signing bench-dataplane reference reference-pki
+.PHONY: all build test race vet fmt-check alloc-guard doc-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load reference reference-pki
 
 all: build
 
@@ -34,10 +34,27 @@ fmt-check:
 alloc-guard:
 	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki
 
-verify: build race alloc-guard vet fmt-check
+# Every internal package must carry a godoc package comment: the
+# architecture guide (docs/architecture.md) leans on them as the
+# per-package reference, so a missing one is a docs regression.
+doc-check:
+	@missing=""; \
+	for d in internal/*/; do \
+		ok=0; \
+		for f in $$d*.go; do \
+			case "$$f" in *_test.go) continue;; esac; \
+			[ -e "$$f" ] || continue; \
+			if grep -B1 -m1 '^package ' "$$f" | head -1 | grep -q '^//'; then ok=1; break; fi; \
+		done; \
+		if [ "$$ok" -eq 0 ]; then missing="$$missing $$d"; fi; \
+	done; \
+	if [ -n "$$missing" ]; then echo "doc-check: missing package comments:$$missing"; exit 1; fi; \
+	echo "doc-check: OK"
+
+verify: build race alloc-guard vet fmt-check doc-check
 	@echo "verify: OK"
 
-bench: bench-micro bench-campaign bench-signing bench-dataplane
+bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load
 
 bench-micro:
 	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator ./internal/segment ./internal/beacon
@@ -60,6 +77,13 @@ bench-signing:
 # BENCH_dataplane.json.
 bench-dataplane:
 	$(GO) run ./cmd/dataplanebench -out BENCH_dataplane.json
+
+# The million-endpoint flow-level load run: open-loop traffic holding
+# >100k flows in flight from >2M simulated endpoints, run once per
+# scheduler (binary heap vs calendar queue) with exact workload
+# agreement asserted; refreshes BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/loadbench -out BENCH_load.json
 
 # Regenerates the committed reference run; diff must be empty.
 reference:

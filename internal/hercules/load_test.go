@@ -1,0 +1,66 @@
+package hercules_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sciera/internal/traffic"
+)
+
+// TestTransferUnderTrafficLoad runs a Hercules bulk transfer while the
+// flow-level traffic engine floods the same four core circuits with
+// open-loop background load striped across every path. The transfer
+// must still complete with intact data — the selective-repeat window
+// absorbs the queueing the background flows induce — and the background
+// workload itself must keep completing flows. This is the contended
+// regime the DMZ actually operates in, as opposed to the quiet-network
+// transfers the other tests measure.
+func TestTransferUnderTrafficLoad(t *testing.T) {
+	n, sim := dmz(t)
+	defer n.Close()
+
+	eng, err := traffic.New(n, traffic.Config{
+		Pairs:          []traffic.Pair{{Src: lA, Dst: lB}, {Src: lB, Dst: lA}},
+		Endpoints:      1 << 18,
+		ArrivalRate:    400,
+		FlowSizes:      traffic.Pareto{MaxPackets: 256},
+		PayloadBytes:   400,
+		PacketInterval: time.Millisecond,
+		Burst:          4,
+		PathsPerPair:   4,
+		Seed:           21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Keep load flowing for plenty of virtual time; the transfer
+	// finishes well inside it.
+	eng.Start(30 * time.Second)
+
+	size := 200 * 1024
+	stats, got := transfer(t, n, sim, size, 4)
+	if len(got) != size {
+		t.Fatalf("received %d bytes, want %d", len(got), size)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(9)).Read(data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted under background load")
+	}
+	if stats.ThroughputMbps <= 0 {
+		t.Errorf("throughput = %v", stats.ThroughputMbps)
+	}
+
+	st := eng.Stats()
+	if st.FlowsStarted == 0 || st.FlowsCompleted == 0 {
+		t.Fatalf("background load idle: %+v", st)
+	}
+	if st.PacketsDelivered == 0 {
+		t.Fatal("background load delivered nothing")
+	}
+	t.Logf("transfer %.1f Mbps with %d retransmits over %d background flows (%d packets)",
+		stats.ThroughputMbps, stats.Retransmits, st.FlowsStarted, st.PacketsDelivered)
+}

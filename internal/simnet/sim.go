@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -38,13 +37,22 @@ type Sim struct {
 	// everything instantly.
 	Latency LatencyFunc
 
-	mu       sync.Mutex
-	now      time.Time
-	events   eventQueue
-	seq      uint64
-	handlers map[netip.AddrPort]binding
-	nextHost uint32
-	nextPort map[netip.Addr]uint16
+	mu sync.Mutex
+	// events is the pending-event queue. Every push, pop, peek and
+	// cancel goes through the scheduler interface so the binary heap
+	// and the calendar queue are interchangeable — both realize the
+	// identical (at, seq) delivery order.
+	events scheduler
+	// peakPending is the high-water mark of pending events, the load
+	// metric the calendar queue exists to keep cheap; processed counts
+	// events executed over the simulation's lifetime.
+	peakPending int
+	processed   uint64
+	now         time.Time
+	seq         uint64
+	handlers    map[netip.AddrPort]binding
+	nextHost    uint32
+	nextPort    map[netip.Addr]uint16
 	// delivered/dropped/inflight are telemetry cells (atomic, so they
 	// are also readable outside s.mu); RegisterTelemetry exposes them.
 	delivered telemetry.Counter
@@ -71,10 +79,21 @@ type binding struct {
 	bh BatchHandler
 }
 
-// NewSim creates a simulator starting at the given time.
+// NewSim creates a simulator starting at the given time, using the
+// default calendar-queue scheduler (see SchedulerKind).
 func NewSim(start time.Time) *Sim {
+	return NewSimWithScheduler(start, SchedulerCalendar)
+}
+
+// NewSimWithScheduler creates a simulator with an explicit pending-event
+// queue implementation. The choice never affects what a simulation
+// observes — both schedulers realize the identical (at, seq) order,
+// property-tested in TestSchedulerEquivalence — only how fast large
+// event populations are handled.
+func NewSimWithScheduler(start time.Time, kind SchedulerKind) *Sim {
 	return &Sim{
 		now:      start,
+		events:   newScheduler(kind),
 		handlers: make(map[netip.AddrPort]binding),
 		nextHost: 1,
 		nextPort: make(map[netip.Addr]uint16),
@@ -99,6 +118,10 @@ type event struct {
 	// handler resolution for the whole run). Element backing arrays are
 	// recycled with the event, like pkt.
 	pkts [][]byte
+	// slot is the event's wheel-bucket slot while resident in a
+	// calendar scheduler, -1 otherwise; idx is its position while in a
+	// binary heap. Each scheduler maintains its own field.
+	slot int64
 	// cancelled timers stay in the queue but do nothing.
 	cancelled bool
 }
@@ -232,9 +255,10 @@ func (s *Sim) Now() time.Time {
 }
 
 // AfterFunc implements Network. Cancelling removes the timer from the
-// event heap immediately — retry/timeout-heavy workloads set and cancel
-// far more timers than they let fire, and tombstoned corpses would grow
-// the heap without bound while costing Step a lock round-trip each.
+// event queue immediately — retry/timeout-heavy workloads set and
+// cancel far more timers than they let fire, and tombstoned corpses
+// would grow the queue without bound while costing Step a lock
+// round-trip each.
 func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,17 +270,24 @@ func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
 			return
 		}
 		e.cancelled = true
-		if e.idx >= 0 && e.idx < len(s.events) && s.events[e.idx] == e {
-			heap.Remove(&s.events, e.idx)
-		}
+		s.events.Remove(e)
 	}
 }
 
 func (s *Sim) scheduleLocked(at time.Time, f func()) *event {
 	e := &event{at: at, seq: s.seq, fn: f}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.pushLocked(e)
 	return e
+}
+
+// pushLocked enqueues a pending event and maintains the high-water
+// mark; the caller holds s.mu.
+func (s *Sim) pushLocked(e *event) {
+	s.events.Push(e)
+	if n := s.events.Len(); n > s.peakPending {
+		s.peakPending = n
+	}
 }
 
 type simConn struct {
@@ -352,7 +383,7 @@ func (s *Sim) newDeliveryLocked(from, to netip.AddrPort, at time.Time) *event {
 	e.pkt = e.pkt[:0]
 	e.pkts = e.pkts[:0]
 	e.from, e.to = from, to
-	heap.Push(&s.events, e)
+	s.pushLocked(e)
 	return e
 }
 
@@ -410,7 +441,7 @@ func (s *Sim) deliverLocked(pkt []byte, from, to netip.AddrPort) {
 	e.pkt = append(e.pkt[:0], pkt...)
 	e.pkts = e.pkts[:0] // a recycled merged event becomes single-delivery
 	e.from, e.to = from, to
-	heap.Push(&s.events, e)
+	s.pushLocked(e)
 }
 
 func (c *simConn) Close() error {
@@ -429,16 +460,17 @@ func (c *simConn) Close() error {
 func (s *Sim) Step() bool {
 	for {
 		s.mu.Lock()
-		if s.events.Len() == 0 {
+		e := s.events.Pop()
+		if e == nil {
 			s.mu.Unlock()
 			return false
 		}
-		e := heap.Pop(&s.events).(*event)
 		if e.cancelled {
 			s.mu.Unlock()
 			continue
 		}
 		s.now = e.at
+		s.processed++
 		if e.fn != nil {
 			fn := e.fn
 			s.mu.Unlock()
@@ -501,12 +533,12 @@ func (s *Sim) Step() bool {
 // unbatched ones. Called with s.mu held; unlocks before the handler.
 func (s *Sim) deliverBatchLocked(e *event, bh BatchHandler) {
 	evs := append(s.batchEvs[:0], e)
-	for s.events.Len() > 0 {
-		top := s.events[0]
-		if top.fn != nil || top.to != e.to || !top.at.Equal(e.at) {
+	for {
+		top := s.events.Peek()
+		if top == nil || top.fn != nil || top.to != e.to || !top.at.Equal(e.at) {
 			break
 		}
-		evs = append(evs, heap.Pop(&s.events).(*event))
+		evs = append(evs, s.events.Pop())
 	}
 	pkts := s.batchPkts[:0]
 	froms := s.batchFrom[:0]
@@ -548,7 +580,7 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(deadline time.Time) {
 	for {
 		s.mu.Lock()
-		if s.events.Len() == 0 || s.events[0].at.After(deadline) {
+		if top := s.events.Peek(); top == nil || top.at.After(deadline) {
 			if s.now.Before(deadline) {
 				s.now = deadline
 			}
@@ -594,6 +626,32 @@ func (s *Sim) Stats() (delivered, dropped uint64) {
 // InFlight reports the number of datagrams scheduled but not yet
 // delivered (or lost).
 func (s *Sim) InFlight() int64 { return s.inflight.Load() }
+
+// PendingEvents reports the number of events (deliveries and timers)
+// currently queued in the scheduler.
+func (s *Sim) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events.Len()
+}
+
+// PeakPending reports the high-water mark of pending events over the
+// simulation's lifetime — the population the scheduler had to keep
+// ordered, and the scale knob the calendar queue is measured against.
+func (s *Sim) PeakPending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakPending
+}
+
+// ProcessedEvents reports the number of events executed so far —
+// combined with wall time it yields the scheduler's events/sec, the
+// load benchmark's ablation metric.
+func (s *Sim) ProcessedEvents() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processed
+}
 
 // RegisterTelemetry adopts the simulator's conservation counters into a
 // registry: the same cells back Stats() and the exposed series, so the
