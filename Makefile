@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard doc-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load reference reference-pki
+.PHONY: all build test race vet fmt-check alloc-guard doc-check scenario-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load reference reference-pki
 
 all: build
 
@@ -51,7 +51,21 @@ doc-check:
 	if [ -n "$$missing" ]; then echo "doc-check: missing package comments:$$missing"; exit 1; fi; \
 	echo "doc-check: OK"
 
-verify: build race alloc-guard vet fmt-check doc-check
+# Scenario hygiene (docs/scenarios.md): every committed scenario file
+# must load and validate; scenarios/sciera.json must stay in sync with
+# the builtin it mirrors; and a 1-day quick campaign must run end to end
+# on a freshly generated multi-ISD topology.
+scenario-check:
+	@for f in scenarios/*.json; do \
+		$(GO) run ./cmd/experiments -scenario-dump -scenario "$$f" > /dev/null || exit 1; \
+		echo "scenario-check: $$f loads and validates"; \
+	done
+	@$(GO) run ./cmd/experiments -scenario-dump -scenario sciera | diff -u scenarios/sciera.json - \
+		|| { echo "scenario-check: scenarios/sciera.json is out of sync with the builtin (regenerate with -scenario-dump)"; exit 1; }
+	@$(GO) run ./cmd/experiments -quick -run fig5 -scenario gen:isds=3,ases=60,seed=1 > /dev/null
+	@echo "scenario-check: OK"
+
+verify: build race alloc-guard vet fmt-check doc-check scenario-check
 	@echo "verify: OK"
 
 bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load

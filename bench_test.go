@@ -25,6 +25,7 @@ import (
 	"sciera/internal/experiments"
 	"sciera/internal/multiping"
 	"sciera/internal/pan"
+	"sciera/internal/scenario"
 	"sciera/internal/sciera"
 	"sciera/internal/simnet"
 	"sciera/internal/slayers"
@@ -35,15 +36,19 @@ import (
 // runs the full scale.
 var quickCfg = experiments.Config{Seed: 42, Quick: true}
 
+// benchScn is the builtin reference scenario the figure benchmarks
+// render from (registered by the sciera import above).
+var benchScn = scenario.MustBuiltin("sciera")
+
 func BenchmarkTable1_PoPs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table1(io.Discard)
+		experiments.Table1(io.Discard, benchScn)
 	}
 }
 
 func BenchmarkFig1_Topology(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Figure1(io.Discard); err != nil {
+		if err := experiments.Figure1(io.Discard, benchScn); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +56,7 @@ func BenchmarkFig1_Topology(b *testing.B) {
 
 func BenchmarkFig3_DeploymentEffort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Figure3(io.Discard)
+		experiments.Figure3(io.Discard, benchScn)
 	}
 }
 
@@ -90,7 +95,7 @@ func BenchmarkFig6_RTTRatio(b *testing.B) {
 	defer n.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure6(io.Discard, ds)
+		experiments.Figure6(io.Discard, benchScn, ds)
 	}
 }
 
@@ -99,7 +104,7 @@ func BenchmarkFig7_RatioOverTime(b *testing.B) {
 	defer n.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure7(io.Discard, ds)
+		experiments.Figure7(io.Discard, benchScn, ds)
 	}
 }
 
@@ -108,7 +113,7 @@ func BenchmarkFig8_ActivePaths(b *testing.B) {
 	defer n.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure8(io.Discard, ds)
+		experiments.Figure8(io.Discard, benchScn, ds)
 	}
 }
 
@@ -117,7 +122,7 @@ func BenchmarkFig9_PathDeviation(b *testing.B) {
 	defer n.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure9(io.Discard, ds, 12*time.Hour, 10*time.Minute)
+		experiments.Figure9(io.Discard, benchScn, ds, 12*time.Hour, 10*time.Minute)
 	}
 }
 
@@ -138,7 +143,7 @@ func BenchmarkFig10b_Disjointness(b *testing.B) {
 	defer n.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure10b(io.Discard, n)
+		experiments.Figure10b(io.Discard, benchScn, n)
 	}
 }
 

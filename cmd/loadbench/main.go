@@ -1,14 +1,19 @@
 // Command loadbench measures the flow-level traffic engine at
-// population scale: millions of simulated endpoints behind two vantage
-// ASes, an open-loop arrival process holding >100k flows concurrently
-// in flight, every packet crossing the real batched data plane. It runs
-// the identical workload once per scheduler (calendar queue vs binary
-// heap) and reports sustained flows/sec, scheduler events/sec, and the
-// peak pending-event population — the ablation that justifies the
-// calendar queue as the simulator's default. The two runs must agree
-// exactly (same flow counters, same FCT histogram): the scheduler swap
-// is a performance choice, never a behavioral one. The Makefile
-// bench-load target uses it to maintain BENCH_load.json.
+// population scale: millions of simulated endpoints behind the vantage
+// ASes of a scenario, an open-loop arrival process holding >100k flows
+// concurrently in flight, every packet crossing the real batched data
+// plane. It runs the identical workload once per scheduler (calendar
+// queue vs binary heap) and reports sustained flows/sec, scheduler
+// events/sec, and the peak pending-event population — the ablation that
+// justifies the calendar queue as the simulator's default. The two runs
+// must agree exactly (same flow counters, same FCT histogram): the
+// scheduler swap is a performance choice, never a behavioral one. The
+// Makefile bench-load target uses it to maintain BENCH_load.json.
+//
+// The workload topology and traffic parameters come from a scenario
+// (-scenario <builtin|gen:spec|file>, default the two-AS "loadbench"
+// builtin); any scenario with a traffic section works, e.g.
+// `-scenario sciera` replays the load on the real deployment topology.
 package main
 
 import (
@@ -20,10 +25,10 @@ import (
 	"runtime"
 	"time"
 
-	"sciera/internal/addr"
 	"sciera/internal/core"
+	"sciera/internal/scenario"
+	_ "sciera/internal/sciera" // registers the builtin "sciera" scenario
 	"sciera/internal/simnet"
-	"sciera/internal/topology"
 	"sciera/internal/traffic"
 )
 
@@ -59,6 +64,7 @@ type row struct {
 type report struct {
 	Timestamp         string   `json:"timestamp"`
 	HostCPUs          int      `json:"host_cpus"`
+	Scenario          string   `json:"scenario"`
 	Workload          workload `json:"workload"`
 	Rows              []row    `json:"rows"`
 	CalendarSpeedup   float64  `json:"calendar_events_per_sec_speedup"`
@@ -78,45 +84,40 @@ type fixedSize struct{ n int }
 
 func (f fixedSize) Sample(*rand.Rand) int { return f.n }
 
-var (
-	iaA = addr.MustParseIA("71-1")
-	iaZ = addr.MustParseIA("71-2")
-)
-
-func buildNet(kind simnet.SchedulerKind) (*core.Network, *simnet.Sim, error) {
-	topo := topology.New()
-	for _, ia := range []addr.IA{iaA, iaZ} {
-		if err := topo.AddAS(topology.ASInfo{IA: ia, Core: true}); err != nil {
-			return nil, nil, err
-		}
-	}
-	if _, err := topo.AddLink(topology.LinkEnd{IA: iaA}, topology.LinkEnd{IA: iaZ}, topology.LinkCore, 1, ""); err != nil {
+func buildNet(s *scenario.Scenario, kind simnet.SchedulerKind) (*core.Network, *simnet.Sim, error) {
+	topo, err := s.Build()
+	if err != nil {
 		return nil, nil, err
 	}
-	sim := simnet.NewSimWithScheduler(time.Unix(1_700_000_000, 0), kind)
-	n, err := core.Build(topo, sim, core.Options{Seed: 1, IntraASDelay: time.Microsecond})
+	sim := simnet.NewSimWithScheduler(s.Campaign.Start(), kind)
+	intra := time.Duration(s.Traffic.IntraASDelayUS * float64(time.Microsecond))
+	n, err := core.Build(topo, sim, core.Options{Seed: 1, IntraASDelay: intra})
 	if err != nil {
 		return nil, nil, err
 	}
 	return n, sim, nil
 }
 
-func runOnce(kind simnet.SchedulerKind, w workload) (row, traffic.Stats, string, error) {
-	n, sim, err := buildNet(kind)
+func runOnce(s *scenario.Scenario, kind simnet.SchedulerKind, w workload) (row, traffic.Stats, string, error) {
+	n, sim, err := buildNet(s, kind)
 	if err != nil {
 		return row{}, traffic.Stats{}, "", err
 	}
 	defer n.Close()
 
+	pairs := make([]traffic.Pair, len(s.Traffic.Pairs))
+	for i, p := range s.Traffic.Pairs {
+		pairs[i] = traffic.Pair{Src: p.Src, Dst: p.Dst}
+	}
 	e, err := traffic.New(n, traffic.Config{
-		Pairs:          []traffic.Pair{{Src: iaA, Dst: iaZ}, {Src: iaZ, Dst: iaA}},
+		Pairs:          pairs,
 		Endpoints:      w.EndpointsPerSource,
 		ArrivalRate:    w.ArrivalRatePerPair,
 		FlowSizes:      fixedSize{w.FlowPackets},
 		PayloadBytes:   w.PayloadBytes,
 		PacketInterval: time.Duration(w.PacketIntervalMS * float64(time.Millisecond)),
 		Burst:          w.Burst,
-		Seed:           42,
+		Seed:           s.Traffic.Seed,
 	})
 	if err != nil {
 		return row{}, traffic.Stats{}, "", err
@@ -156,22 +157,33 @@ func runOnce(kind simnet.SchedulerKind, w workload) (row, traffic.Stats, string,
 func main() {
 	out := flag.String("out", "BENCH_load.json", "output JSON path")
 	quick := flag.Bool("quick", false, "reduced-scale smoke run")
+	scen := flag.String("scenario", "loadbench", "scenario supplying topology and traffic parameters: builtin name, gen:<spec>, or file path")
 	flag.Parse()
 
-	// Defaults hold >100k flows in flight from >2M simulated endpoints:
-	// 45k flows/sec/pair x 2 pairs arriving for 1.5s of virtual time,
-	// each flow 128 packets paced over ~3.2s — arrivals outlive the
-	// horizon, so the in-flight population ramps to ~135k and stays
-	// there while the tail drains.
+	s, err := scenario.Resolve(*scen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+	if s.Traffic == nil {
+		fmt.Fprintf(os.Stderr, "loadbench: scenario %q has no traffic section\n", s.Name)
+		os.Exit(1)
+	}
+
+	// The loadbench builtin's defaults hold >100k flows in flight from
+	// >2M simulated endpoints: 45k flows/sec/pair x 2 pairs arriving
+	// for 1.5s of virtual time, each flow 128 packets paced over ~3.2s
+	// — arrivals outlive the horizon, so the in-flight population ramps
+	// to ~135k and stays there while the tail drains.
 	w := workload{
-		Pairs:              2,
-		EndpointsPerSource: 1 << 20,
-		ArrivalRatePerPair: 45_000,
-		FlowPackets:        128,
-		PayloadBytes:       200,
-		PacketIntervalMS:   100,
-		Burst:              4,
-		HorizonMS:          1500,
+		Pairs:              len(s.Traffic.Pairs),
+		EndpointsPerSource: s.Traffic.EndpointsPerSource,
+		ArrivalRatePerPair: s.Traffic.ArrivalRatePerPair,
+		FlowPackets:        s.Traffic.FlowPackets,
+		PayloadBytes:       s.Traffic.PayloadBytes,
+		PacketIntervalMS:   s.Traffic.PacketIntervalMS,
+		Burst:              s.Traffic.Burst,
+		HorizonMS:          s.Traffic.HorizonMS,
 	}
 	if *quick {
 		w.EndpointsPerSource = 1 << 16
@@ -183,13 +195,14 @@ func main() {
 	rep := report{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		HostCPUs:  runtime.NumCPU(),
+		Scenario:  s.Name,
 		Workload:  w,
 	}
 
 	var fps []string
 	for _, kind := range []simnet.SchedulerKind{simnet.SchedulerHeap, simnet.SchedulerCalendar} {
 		fmt.Fprintf(os.Stderr, "loadbench: running %v scheduler...\n", kind)
-		r, _, fp, err := runOnce(kind, w)
+		r, _, fp, err := runOnce(s, kind, w)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadbench: %v\n", err)
 			os.Exit(1)

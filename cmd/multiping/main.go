@@ -1,9 +1,13 @@
-// Command multiping runs the Section 5.4 measurement campaign over the
-// simulated SCIERA deployment in virtual time and writes the dataset —
-// the reproduction of the scion-go-multiping data-collection pipeline.
+// Command multiping runs the Section 5.4 measurement campaign over a
+// simulated deployment in virtual time and writes the dataset — the
+// reproduction of the scion-go-multiping data-collection pipeline. By
+// default it measures the built-in SCIERA scenario; -scenario swaps in
+// any builtin, generated, or file-loaded scenario (the vantage set and
+// pair ordering come from the scenario's vantage list).
 //
 //	multiping -out dataset.json                 # full 20-day campaign
 //	multiping -days 2 -interval 10m -out d.json # shorter run
+//	multiping -scenario gen:ases=210,isds=3,seed=1 -days 1 -out gen.json
 package main
 
 import (
@@ -17,38 +21,54 @@ import (
 	"sciera/internal/addr"
 	"sciera/internal/core"
 	"sciera/internal/multiping"
-	"sciera/internal/sciera"
+	"sciera/internal/scenario"
+	_ "sciera/internal/sciera" // registers the builtin "sciera" scenario
 	"sciera/internal/simnet"
 )
 
 func main() {
 	var (
 		out         = flag.String("out", "multiping-dataset.json", "output dataset path")
-		days        = flag.Int("days", sciera.CampaignDays, "campaign length in days")
+		days        = flag.Int("days", 0, "campaign length in days (0: the scenario's campaign length)")
 		interval    = flag.Duration("interval", 5*time.Minute, "measurement interval")
 		seed        = flag.Int64("seed", 42, "seed")
+		best        = flag.Int("best", 14, "beacons kept per origin in the control plane")
 		stall       = flag.Bool("stall", true, "reproduce the tool's hourly ICMP stalls")
+		scen        = flag.String("scenario", "", "scenario to measure: builtin name, gen:<spec>, or file path (default: sciera)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics on this TCP address while the campaign runs")
 		telemDump   = flag.String("telemetry-dump", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
-	topo, err := sciera.Build()
+	s, err := scenario.Resolve(*scen)
 	fatal(err)
-	sim := simnet.NewSim(time.Unix(1_737_000_000, 0))
-	n, err := core.Build(topo, sim, core.Options{Seed: *seed, BestPerOrigin: 14})
+	if *days <= 0 {
+		*days = s.Campaign.Days
+	}
+
+	topo, err := s.Build()
+	fatal(err)
+	sim := simnet.NewSim(s.Campaign.Start())
+	n, err := core.Build(topo, sim, core.Options{Seed: *seed, BestPerOrigin: *best})
 	fatal(err)
 	defer n.Close()
-	ipTopo, err := sciera.BuildIPPlane()
-	fatal(err)
 
-	fmt.Fprintf(os.Stderr, "running %d-day campaign from %d vantage ASes (virtual time)...\n",
-		*days, len(sciera.VantageASes()))
+	// The commercial-Internet baseline; scenarios without an IP plane
+	// record every interval as IP-missing (negative RTT).
+	ipRTT := func(src, dst addr.IA) float64 { return -1 }
+	if s.IPPlane != nil {
+		ipTopo, err := s.BuildIPPlane()
+		fatal(err)
+		ipRTT = func(src, dst addr.IA) float64 { return s.IPRTTms(ipTopo, src, dst) }
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d-day campaign on scenario %q from %d vantage ASes (virtual time)...\n",
+		*days, s.Name, len(s.Vantage))
 	camp, err := multiping.NewCampaign(n, multiping.Config{
-		Vantage:    sciera.VantageASes(),
+		Vantage:    s.Vantage,
 		Interval:   *interval,
 		Duration:   time.Duration(*days) * 24 * time.Hour,
-		IPRTT:      func(src, dst addr.IA) float64 { return sciera.IPRTTms(ipTopo, src, dst) },
+		IPRTT:      ipRTT,
 		StallModel: *stall,
 		Seed:       *seed,
 	})

@@ -36,25 +36,26 @@ func Run(w io.Writer, name string, cfg Config) error {
 }
 
 func dispatch(w io.Writer, name string, cfg Config, ds *multiping.Dataset, n *core.Network, duration, interval time.Duration) error {
+	s := cfg.scn()
 	switch name {
 	case "table1":
-		Table1(w)
+		Table1(w, s)
 	case "fig1":
-		return Figure1(w)
+		return Figure1(w, s)
 	case "fig3":
-		Figure3(w)
+		Figure3(w, s)
 	case "fig4":
 		return Figure4(w, cfg)
 	case "fig5":
 		Figure5(w, ds)
 	case "fig6":
-		Figure6(w, ds)
+		Figure6(w, s, ds)
 	case "fig7":
-		Figure7(w, ds)
+		Figure7(w, s, ds)
 	case "fig8":
-		Figure8(w, ds)
+		Figure8(w, s, ds)
 	case "fig9":
-		Figure9(w, ds, duration, interval)
+		Figure9(w, s, ds, duration, interval)
 	case "fig10a":
 		Figure10a(w, ds)
 	case "fig10b":
@@ -67,7 +68,7 @@ func dispatch(w io.Writer, name string, cfg Config, ds *multiping.Dataset, n *co
 			}
 			defer net.Close()
 		}
-		Figure10b(w, net)
+		Figure10b(w, s, net)
 	case "fig10c":
 		return Figure10c(w, cfg)
 	case "table2":
@@ -88,6 +89,7 @@ func dispatch(w io.Writer, name string, cfg Config, ds *multiping.Dataset, n *co
 // cost, and its figure output is exactly what must stay byte-identical
 // across worker counts.
 func RunCampaignFigures(w io.Writer, cfg Config) error {
+	s := cfg.scn()
 	ds, n, err := RunCampaign(cfg)
 	if err != nil {
 		return err
@@ -95,10 +97,10 @@ func RunCampaignFigures(w io.Writer, cfg Config) error {
 	defer n.Close()
 	duration, interval, _ := cfg.campaign()
 	Figure5(w, ds)
-	Figure6(w, ds)
-	Figure7(w, ds)
-	Figure8(w, ds)
-	Figure9(w, ds, duration, interval)
+	Figure6(w, s, ds)
+	Figure7(w, s, ds)
+	Figure8(w, s, ds)
+	Figure9(w, s, ds, duration, interval)
 	Figure10a(w, ds)
 	return nil
 }
@@ -106,11 +108,12 @@ func RunCampaignFigures(w io.Writer, cfg Config) error {
 // RunAll executes every experiment, sharing one measurement campaign
 // across the figures that need it.
 func RunAll(w io.Writer, cfg Config) error {
-	Table1(w)
-	if err := Figure1(w); err != nil {
+	s := cfg.scn()
+	Table1(w, s)
+	if err := Figure1(w, s); err != nil {
 		return err
 	}
-	Figure3(w)
+	Figure3(w, s)
 	if err := Figure4(w, cfg); err != nil {
 		return err
 	}
@@ -122,10 +125,10 @@ func RunAll(w io.Writer, cfg Config) error {
 	defer n.Close()
 	duration, interval, _ := cfg.campaign()
 	Figure5(w, ds)
-	Figure6(w, ds)
-	Figure7(w, ds)
-	Figure8(w, ds)
-	Figure9(w, ds, duration, interval)
+	Figure6(w, s, ds)
+	Figure7(w, s, ds)
+	Figure8(w, s, ds)
+	Figure9(w, s, ds, duration, interval)
 	Figure10a(w, ds)
 	// Disjointness characterizes the deployment itself, so it runs on
 	// an intact network rather than the post-campaign state (which
@@ -134,7 +137,7 @@ func RunAll(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	Figure10b(w, fresh)
+	Figure10b(w, s, fresh)
 	fresh.Close()
 
 	if err := Figure10c(w, cfg); err != nil {

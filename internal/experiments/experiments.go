@@ -13,15 +13,20 @@ import (
 	"sciera/internal/addr"
 	"sciera/internal/core"
 	"sciera/internal/multiping"
-	"sciera/internal/sciera"
+	"sciera/internal/scenario"
+	_ "sciera/internal/sciera" // registers the builtin "sciera" scenario
 	"sciera/internal/simnet"
 	"sciera/internal/stats"
-	"sciera/internal/topology"
 )
 
 // Config parameterizes a run.
 type Config struct {
 	Seed int64
+	// Scenario is the deployment the experiments run on: topology,
+	// vantage set, incident calendar, campaign parameters, IP baseline.
+	// Nil selects the built-in SCIERA reference scenario, reproducing
+	// the paper's evaluation.
+	Scenario *scenario.Scenario
 	// Quick shrinks the campaigns for fast runs (tests); the full runs
 	// regenerate the paper-scale statistics.
 	Quick bool
@@ -53,20 +58,25 @@ type Config struct {
 	RouterBatchWorkers int
 }
 
+// scn resolves the config's scenario, defaulting to the built-in
+// SCIERA reference deployment.
+func (c Config) scn() *scenario.Scenario {
+	if c.Scenario != nil {
+		return c.Scenario
+	}
+	return scenario.MustBuiltin("sciera")
+}
+
 // CampaignScale returns the measurement campaign parameters.
 func (c Config) campaign() (duration, interval time.Duration, vantage []addr.IA) {
+	s := c.scn()
 	if c.Quick {
-		// A region-spanning subset: GEANT (EU), SIDN (EU), KISTI DJ and
-		// SG (Asia), UVa (NA), UFMS (SA).
-		quick := []addr.IA{}
-		for _, name := range []string{"71-20965", "71-1140", "71-2:0:3b", "71-2:0:3d", "71-225", "71-2:0:5c"} {
-			quick = append(quick, addr.MustParseIA(name))
-		}
-		return 2 * 24 * time.Hour, 10 * time.Minute, quick
+		return s.Campaign.QuickDuration(), s.Campaign.QuickInterval(), s.QuickVantage()
 	}
-	// The paper's 20-day window; one measurement round per 5 minutes
-	// samples the same per-pair RTT processes the 1 Hz tool observed.
-	return sciera.CampaignDays * 24 * time.Hour, 5 * time.Minute, sciera.VantageASes()
+	// The full window; for SCIERA, one measurement round per 5 minutes
+	// over 20 days samples the same per-pair RTT processes the 1 Hz
+	// tool observed.
+	return s.Campaign.Duration(), s.Campaign.Interval(), s.Vantage
 }
 
 // BuildNetwork constructs the SCIERA network on a fresh simulator.
@@ -80,17 +90,18 @@ func BuildNetworkOpts(seed int64, withPKI bool) (*core.Network, *simnet.Sim, err
 	return buildNetworkCfg(Config{Seed: seed, WithPKI: withPKI})
 }
 
-// buildNetworkCfg constructs the SCIERA network a campaign or figure
-// run uses, honoring the config's network-affecting knobs.
+// buildNetworkCfg constructs the scenario's network a campaign or
+// figure run uses, honoring the config's network-affecting knobs.
 func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
-	topo, err := sciera.Build()
+	s := cfg.scn()
+	topo, err := s.Build()
 	if err != nil {
 		return nil, nil, err
 	}
-	sim := simnet.NewSim(time.Unix(1_737_000_000, 0)) // mid-January, paper time
+	sim := simnet.NewSim(s.Campaign.Start())
 	n, err := core.Build(topo, sim, core.Options{
 		Seed:               cfg.Seed,
-		BestPerOrigin:      16,
+		BestPerOrigin:      s.Campaign.BestPerOrigin,
 		WithPKI:            cfg.WithPKI,
 		RouterBatchWorkers: cfg.RouterBatchWorkers,
 	})
@@ -101,20 +112,21 @@ func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
 }
 
 // buildCampaignNetwork constructs one campaign-ready network replica:
-// the seeded SCIERA network plus the incident calendar (disclosed
+// the seeded scenario network plus its incident calendar (scheduled
 // outages/flaps and the links activated mid-campaign, built into the
 // topology but held down until their activation time). Every campaign
 // worker calls this with the same seed and therefore owns an identical
 // replica — topology, beaconing and path state are seed-reproducible,
 // which is what makes pair-sharding exact.
 func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
+	s := cfg.scn()
 	n, _, err := buildNetworkCfg(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	var events []multiping.IncidentEvent
-	resolve := func(name string) (int, bool) { return sciera.LinkIDByName(n.Topo, name) }
-	incs := sciera.Incidents()
+	resolve := n.Topo.LinkIDByName
+	incs := s.Incidents
 	plain := make([]struct {
 		Name         string
 		Links        []string
@@ -131,26 +143,27 @@ func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent,
 			Duration     time.Duration
 			FlapPeriod   time.Duration
 			FlapDowntime time.Duration
-		}{inc.Name, inc.Links, inc.Start, inc.Duration, inc.FlapPeriod, inc.FlapDowntime}
+		}{inc.Name, inc.Links, inc.Start(), inc.Duration(), inc.FlapPeriod(), inc.FlapDowntime()}
 	}
 	events, err = multiping.BuildEvents(n.Topo, resolve, plain)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, nl := range sciera.MidCampaignLinks() {
-		a, okA := sciera.SiteByIA(nl.Spec.A)
-		b, okB := sciera.SiteByIA(nl.Spec.B)
-		if !okA || !okB {
-			return nil, nil, fmt.Errorf("experiments: new link %q references unknown site", nl.Spec.Name)
+	for _, nl := range s.NewLinks {
+		// Runtime-circuit latencies were resolved by the scenario
+		// loader (plain geodesic + extra: provisioned waves, no PoP
+		// detour modeling).
+		typ, err := scenario.RuntimeLinkType(nl.Type)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: new link %q: %w", nl.Name, err)
 		}
-		lat := topology.GeoLatencyMS(a.Lat, a.Lon, b.Lat, b.Lon) + nl.Spec.ExtraMS
-		l, err := n.AddRuntimeLink(nl.Spec.A, nl.Spec.B, nl.Spec.Type, lat, nl.Spec.Name)
+		l, err := n.AddRuntimeLink(nl.A, nl.B, typ, nl.LatencyMS, nl.Name)
 		if err != nil {
 			return nil, nil, err
 		}
 		_ = n.Topo.SetLinkUp(l.ID, false)
 		events = append(events, multiping.IncidentEvent{
-			At: nl.Activate, LinkID: l.ID, Up: true, Name: nl.Spec.Name,
+			At: nl.Activate(), LinkID: l.ID, Up: true, Name: nl.Name,
 		})
 	}
 	if err := n.RefreshControlPlane(); err != nil {
@@ -166,8 +179,9 @@ func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent,
 // byte-identical to a single-worker run. The returned network is one
 // campaign replica in its post-campaign state (the caller closes it).
 func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
+	s := cfg.scn()
 	duration, interval, vantage := cfg.campaign()
-	ipTopo, err := sciera.BuildIPPlane()
+	ipTopo, err := s.BuildIPPlane()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,7 +189,7 @@ func RunCampaign(cfg Config) (*multiping.Dataset, *core.Network, error) {
 		Vantage:    vantage,
 		Interval:   interval,
 		Duration:   duration,
-		IPRTT:      func(src, dst addr.IA) float64 { return sciera.IPRTTms(ipTopo, src, dst) },
+		IPRTT:      func(src, dst addr.IA) float64 { return s.IPRTTms(ipTopo, src, dst) },
 		StallModel: true,
 		Seed:       cfg.Seed,
 	}

@@ -51,14 +51,15 @@ func TestCampaignFiguresQuick(t *testing.T) {
 	defer n.Close()
 	duration, interval, _ := cfg.campaign()
 
+	s := cfg.scn()
 	var buf bytes.Buffer
 	Figure5(&buf, ds)
-	Figure6(&buf, ds)
-	Figure7(&buf, ds)
-	Figure8(&buf, ds)
-	Figure9(&buf, ds, duration, interval)
+	Figure6(&buf, s, ds)
+	Figure7(&buf, s, ds)
+	Figure8(&buf, s, ds)
+	Figure9(&buf, s, ds, duration, interval)
 	Figure10a(&buf, ds)
-	Figure10b(&buf, n)
+	Figure10b(&buf, s, n)
 	out := buf.String()
 	for _, want := range []string{
 		"Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",

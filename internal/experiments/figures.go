@@ -12,36 +12,39 @@ import (
 	"sciera/internal/combinator"
 	"sciera/internal/core"
 	"sciera/internal/multiping"
-	"sciera/internal/sciera"
+	"sciera/internal/scenario"
 	"sciera/internal/stats"
 	"sciera/internal/survey"
 	"sciera/internal/topology"
 )
 
 // Table1 reproduces the PoP inventory.
-func Table1(w io.Writer) {
+func Table1(w io.Writer, s *scenario.Scenario) {
 	section(w, "Table 1: SCIERA PoPs and collaborating networks")
 	t := stats.Table{Header: []string{"Location", "Peering NRENs", "Partner Networks"}}
-	for _, p := range sciera.PoPs() {
+	for _, p := range s.PoPs {
 		t.AddRow(p.Location, strings.Join(p.PeeringNRENs, "/"), strings.Join(p.PartnerNetworks, "/"))
 	}
 	fmt.Fprint(w, t.Render())
+	if len(s.PoPs) == 0 {
+		fmt.Fprintf(w, "(scenario %q declares no PoP inventory)\n", s.Name)
+	}
 }
 
 // Figure1 renders the deployment topology as a table and a DOT graph.
-func Figure1(w io.Writer) error {
+func Figure1(w io.Writer, s *scenario.Scenario) error {
 	section(w, "Figure 1: Topology overview of the SCIERA deployment")
-	topo, err := sciera.Build()
+	topo, err := s.Build()
 	if err != nil {
 		return err
 	}
 	t := stats.Table{Header: []string{"AS", "IA", "Role", "Region"}}
-	for _, s := range sciera.Sites() {
+	for _, a := range s.ASes {
 		role := "non-core"
-		if s.Core {
+		if a.Core {
 			role = "CORE"
 		}
-		t.AddRow(s.Name, s.IA.String(), role, s.Region.String())
+		t.AddRow(a.Name, a.IA.String(), role, a.Region)
 	}
 	fmt.Fprint(w, t.Render())
 
@@ -86,37 +89,47 @@ func DOT(topo *topology.Topology) string {
 // Figure3 reproduces the deployment-effort timeline, and fits the
 // learning-curve model DESIGN.md calls out: repeat deployments of the
 // same kind get cheaper as automation and experience accumulate.
-func Figure3(w io.Writer) {
+func Figure3(w io.Writer, s *scenario.Scenario) {
 	section(w, "Figure 3: SCIERA deployment and estimated effort over time")
-	sites := append([]sciera.Site(nil), sciera.Sites()...)
-	sort.Slice(sites, func(i, j int) bool { return sites[i].Joined.Before(sites[j].Joined) })
+	type dated struct {
+		as     scenario.AS
+		joined time.Time
+	}
+	var sites []dated
+	for _, a := range s.ASes {
+		if t, ok := a.JoinedTime(); ok {
+			sites = append(sites, dated{a, t})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].joined.Before(sites[j].joined) })
 
-	base := map[sciera.DeploymentKind]float64{}
-	count := map[sciera.DeploymentKind]int{}
+	base := map[string]float64{}
+	count := map[string]int{}
 	// Base costs fitted to the first occurrence of each kind.
-	for _, s := range sites {
-		if _, ok := base[s.Kind]; !ok && !s.Joined.IsZero() {
-			base[s.Kind] = s.Effort
+	for _, d := range sites {
+		if _, ok := base[d.as.Kind]; !ok {
+			base[d.as.Kind] = d.as.Effort
 		}
 	}
 
 	t := stats.Table{Header: []string{"Date", "AS", "Kind", "Reported effort", "Model"}}
 	var reported, modeled []float64
-	for _, s := range sites {
-		if s.Joined.IsZero() {
-			continue
-		}
+	for _, d := range sites {
 		// Learning curve: effort decays 25% per prior same-kind
 		// deployment, floored at 20% of the initial cost.
-		k := count[s.Kind]
-		model := base[s.Kind] * math.Max(0.2, math.Pow(0.75, float64(k)))
-		count[s.Kind]++
-		reported = append(reported, s.Effort)
+		k := count[d.as.Kind]
+		model := base[d.as.Kind] * math.Max(0.2, math.Pow(0.75, float64(k)))
+		count[d.as.Kind]++
+		reported = append(reported, d.as.Effort)
 		modeled = append(modeled, model)
-		t.AddRow(s.Joined.Format("2006-01"), s.Name, s.Kind.String(),
-			fmt.Sprintf("%.1f", s.Effort), fmt.Sprintf("%.1f", model))
+		t.AddRow(d.joined.Format("2006-01"), d.as.Name, d.as.Kind,
+			fmt.Sprintf("%.1f", d.as.Effort), fmt.Sprintf("%.1f", model))
 	}
 	fmt.Fprint(w, t.Render())
+	if len(reported) == 0 {
+		fmt.Fprintf(w, "(scenario %q declares no deployment timeline)\n", s.Name)
+		return
+	}
 
 	// Trend check: efforts of the second half are lower than the first
 	// (the paper's "subsequent deployments were simplified").
@@ -151,7 +164,7 @@ func Figure5(w io.Writer, ds *multiping.Dataset) {
 }
 
 // Figure6 prints the per-pair RTT-ratio CDF with the paper's thresholds.
-func Figure6(w io.Writer, ds *multiping.Dataset) {
+func Figure6(w io.Writer, s *scenario.Scenario, ds *multiping.Dataset) {
 	section(w, "Figure 6: CDF of the RTT ratio of SCION compared to IP")
 	ratios := ds.PairRatios()
 	c := &stats.CDF{}
@@ -171,17 +184,29 @@ func Figure6(w io.Writer, ds *multiping.Dataset) {
 		100*c.FractionBelow(1.0))
 	fmt.Fprintf(w, "pairs with <25%% inflation (ratio < 1.25): %.0f%% (paper: ~80%%)\n",
 		100*c.FractionBelow(1.25))
-	sort.Slice(outliers, func(i, j int) bool { return outliers[i].ratio > outliers[j].ratio })
+	// Outliers were collected in map-iteration order; ties on the ratio
+	// (symmetric pairs have exactly equal ones) need the pair itself as
+	// a tiebreak or the listing is nondeterministic.
+	sort.Slice(outliers, func(i, j int) bool {
+		a, b := outliers[i], outliers[j]
+		if a.ratio != b.ratio {
+			return a.ratio > b.ratio
+		}
+		if a.pair.Src != b.pair.Src {
+			return a.pair.Src < b.pair.Src
+		}
+		return a.pair.Dst < b.pair.Dst
+	})
 	fmt.Fprintln(w, "\noutliers (paper attributes these to the KREONET cable cut, BRIDGES")
 	fmt.Fprintln(w, "instabilities, and the UFMS-Equinix detour via GEANT):")
 	for _, o := range outliers {
-		srcName, dstName := siteName(o.pair.Src), siteName(o.pair.Dst)
+		srcName, dstName := s.ASName(o.pair.Src), s.ASName(o.pair.Dst)
 		fmt.Fprintf(w, "  %s -> %s: ratio %.2f\n", srcName, dstName, o.ratio)
 	}
 }
 
 // Figure7 prints the ratio-over-time series with the incident markers.
-func Figure7(w io.Writer, ds *multiping.Dataset) {
+func Figure7(w io.Writer, s *scenario.Scenario, ds *multiping.Dataset) {
 	section(w, "Figure 7: RTT ratio of SCION compared to IP over time")
 	t := stats.Table{Header: []string{"day", "mean SCION/IP ratio", "samples"}}
 	for _, b := range ds.RatioOverTime(24 * time.Hour) {
@@ -190,19 +215,20 @@ func Figure7(w io.Writer, ds *multiping.Dataset) {
 	}
 	fmt.Fprint(w, t.Render())
 	fmt.Fprintln(w, "\nincident calendar replayed during the campaign:")
-	for _, inc := range sciera.Incidents() {
+	for _, inc := range s.Incidents {
 		fmt.Fprintf(w, "  day %4.1f + %5.1fh: %s\n",
-			inc.Start.Hours()/24, inc.Duration.Hours(), inc.Name)
+			inc.Start().Hours()/24, inc.Duration().Hours(), inc.Name)
 	}
-	for _, nl := range sciera.MidCampaignLinks() {
-		fmt.Fprintf(w, "  day %4.1f: new circuit %q activated\n", nl.Activate.Hours()/24, nl.Spec.Name)
+	for _, nl := range s.NewLinks {
+		fmt.Fprintf(w, "  day %4.1f: new circuit %q activated\n", nl.Activate().Hours()/24, nl.Name)
 	}
 }
 
-// Figure8 prints the maximum-active-paths heatmap over the nine ASes.
-func Figure8(w io.Writer, ds *multiping.Dataset) {
+// Figure8 prints the maximum-active-paths heatmap over the scenario's
+// heatmap AS set (the paper's nine ASes for SCIERA).
+func Figure8(w io.Writer, s *scenario.Scenario, ds *multiping.Dataset) {
 	section(w, "Figure 8: Maximum number of active paths between AS pairs")
-	renderMatrix(w, ds.MaxActivePaths(), func(p multiping.Pair, m map[multiping.Pair]int) string {
+	renderMatrix(w, s.Heatmap, ds.MaxActivePaths(), func(p multiping.Pair, m map[multiping.Pair]int) string {
 		if v, ok := m[p]; ok {
 			return fmt.Sprintf("%d", v)
 		}
@@ -212,10 +238,10 @@ func Figure8(w io.Writer, ds *multiping.Dataset) {
 }
 
 // Figure9 prints the median deviation from the maximum path count.
-func Figure9(w io.Writer, ds *multiping.Dataset, campaign, interval time.Duration) {
+func Figure9(w io.Writer, s *scenario.Scenario, ds *multiping.Dataset, campaign, interval time.Duration) {
 	section(w, "Figure 9: Median deviation from the highest number of active paths")
 	dev := ds.MedianPathDeviation(campaign, interval)
-	renderMatrix(w, dev, func(p multiping.Pair, m map[multiping.Pair]int) string {
+	renderMatrix(w, s.Heatmap, dev, func(p multiping.Pair, m map[multiping.Pair]int) string {
 		if v, ok := m[p]; ok {
 			return fmt.Sprintf("%d", v)
 		}
@@ -225,9 +251,8 @@ func Figure9(w io.Writer, ds *multiping.Dataset, campaign, interval time.Duratio
 	fmt.Fprintln(w, "(Daejeon-Singapore) and the BRIDGES-affected UVa-Equinix pair")
 }
 
-// renderMatrix prints a pair-indexed matrix over the Figure 8 AS set.
-func renderMatrix(w io.Writer, m map[multiping.Pair]int, cell func(multiping.Pair, map[multiping.Pair]int) string) {
-	ases := sciera.Figure8ASes()
+// renderMatrix prints a pair-indexed matrix over the heatmap AS set.
+func renderMatrix(w io.Writer, ases []addr.IA, m map[multiping.Pair]int, cell func(multiping.Pair, map[multiping.Pair]int) string) {
 	hdr := []string{"src\\dst"}
 	for _, d := range ases {
 		hdr = append(hdr, d.String())
@@ -264,12 +289,12 @@ func Figure10a(w io.Writer, ds *multiping.Dataset) {
 // combinations: the enumerated path set contains many near-duplicate
 // VLAN variants whose O(N²) combinations would otherwise drown the
 // distribution in almost-identical pairs.
-func Figure10b(w io.Writer, n *core.Network) {
+func Figure10b(w io.Writer, s *scenario.Scenario, n *core.Network) {
 	section(w, "Figure 10b: CDF of path disjointness for all AS pairs")
 	c := &stats.CDF{}
 	fully := 0
 	total := 0
-	vantage := sciera.VantageASes()
+	vantage := s.Vantage
 	for _, src := range vantage {
 		for _, dst := range vantage {
 			if src == dst {
@@ -336,12 +361,4 @@ func diverseSample(paths []*combinator.Path, n int) []*combinator.Path {
 func SurveyTable(w io.Writer) {
 	section(w, "Section 5.6: Operator survey")
 	fmt.Fprint(w, survey.Compute(survey.Responses()).Render())
-}
-
-// siteName resolves an IA to its deployment name.
-func siteName(ia addr.IA) string {
-	if s, ok := sciera.SiteByIA(ia); ok {
-		return s.Name
-	}
-	return ia.String()
 }

@@ -7,7 +7,6 @@ import (
 
 	"sciera/internal/addr"
 	"sciera/internal/bootstrap"
-	"sciera/internal/sciera"
 	"sciera/internal/stats"
 	"sciera/internal/topology"
 )
@@ -27,7 +26,8 @@ func Figure10c(w io.Writer, cfg Config) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Pair set: all AS pairs of the deployment.
-	baseTopo, err := sciera.Build()
+	scn := cfg.scn()
+	baseTopo, err := scn.Build()
 	if err != nil {
 		return err
 	}
@@ -42,7 +42,7 @@ func Figure10c(w io.Writer, cfg Config) error {
 	single := make([]float64, steps+1)
 
 	for run := 0; run < runs; run++ {
-		topo, err := sciera.Build()
+		topo, err := scn.Build()
 		if err != nil {
 			return err
 		}

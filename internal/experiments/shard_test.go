@@ -74,12 +74,13 @@ func TestShardedCampaignByteIdentical(t *testing.T) {
 		}
 		defer n.Close()
 		duration, interval, _ := c.campaign()
+		s := c.scn()
 		var buf bytes.Buffer
 		Figure5(&buf, ds)
-		Figure6(&buf, ds)
-		Figure7(&buf, ds)
-		Figure8(&buf, ds)
-		Figure9(&buf, ds, duration, interval)
+		Figure6(&buf, s, ds)
+		Figure7(&buf, s, ds)
+		Figure8(&buf, s, ds)
+		Figure9(&buf, s, ds, duration, interval)
 		Figure10a(&buf, ds)
 		return ds, buf.String()
 	}

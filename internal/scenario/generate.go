@@ -1,0 +1,390 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sciera/internal/addr"
+)
+
+// GenSpec parameterizes the synthetic multi-ISD topology generator.
+// The zero value of any field means "default". Generation is a pure
+// function of the spec: the same spec yields a byte-identical canonical
+// scenario, which is what makes generated topologies shareable by name
+// ("gen:ases=210,isds=3,seed=1") instead of by file.
+type GenSpec struct {
+	Seed int64
+	// ISDs is the number of isolation domains (default 3).
+	ISDs int
+	// ASes is the total AS count across all ISDs (default 210).
+	ASes int
+	// CoresPerISD sizes each ISD's core clique (default 4).
+	CoresPerISD int
+	// VantagePerISD is how many measurement vantage ASes each ISD
+	// contributes — its first core, transit, and leaf, in that order
+	// (default 3, max 3).
+	VantagePerISD int
+	// Incidents is how many scheduled outages to synthesize on core
+	// circuits (default 4).
+	Incidents int
+	// Days is the campaign length (default 1 — synthetic topologies are
+	// for breadth, not for reproducing the 20-day paper run).
+	Days int
+}
+
+func (g GenSpec) withDefaults() GenSpec {
+	if g.ISDs == 0 {
+		g.ISDs = 3
+	}
+	if g.ASes == 0 {
+		g.ASes = 210
+	}
+	if g.CoresPerISD == 0 {
+		g.CoresPerISD = 4
+	}
+	if g.VantagePerISD == 0 {
+		g.VantagePerISD = 3
+	}
+	if g.VantagePerISD > 3 {
+		g.VantagePerISD = 3
+	}
+	if g.Incidents == 0 {
+		g.Incidents = 4
+	}
+	if g.Days == 0 {
+		g.Days = 1
+	}
+	return g
+}
+
+// Name is the deterministic scenario name for this spec.
+func (g GenSpec) Name() string {
+	g = g.withDefaults()
+	return fmt.Sprintf("gen-isds%d-ases%d-seed%d", g.ISDs, g.ASes, g.Seed)
+}
+
+// ParseGenName parses a "gen:key=value,..." scenario argument into a
+// GenSpec. Keys: seed, isds, ases, cores, vantage, incidents, days.
+// "gen" alone yields the default spec.
+func ParseGenName(arg string) (GenSpec, error) {
+	var g GenSpec
+	body := strings.TrimPrefix(arg, "gen")
+	body = strings.TrimPrefix(body, ":")
+	if body == "" {
+		return g, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return g, fmt.Errorf("scenario: gen spec %q: %q is not key=value", arg, kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return g, fmt.Errorf("scenario: gen spec %q: bad value for %q: %v", arg, key, err)
+		}
+		switch key {
+		case "seed":
+			g.Seed = n
+		case "isds":
+			g.ISDs = int(n)
+		case "ases":
+			g.ASes = int(n)
+		case "cores":
+			g.CoresPerISD = int(n)
+		case "vantage":
+			g.VantagePerISD = int(n)
+		case "incidents":
+			g.Incidents = int(n)
+		case "days":
+			g.Days = int(n)
+		default:
+			return g, fmt.Errorf("scenario: gen spec %q: unknown key %q (want seed/isds/ases/cores/vantage/incidents/days)", arg, key)
+		}
+	}
+	return g, nil
+}
+
+// round2 keeps generated coordinates at two decimals so canonical JSON
+// never carries float noise.
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+// Generate synthesizes a validated multi-ISD scenario: one core clique
+// per ISD, two parallel inter-ISD circuits between adjacent ISDs on a
+// ring, a transit tier dual-homed to the cores, leaves hanging off one
+// or two transits, geo-derived latencies from generated coordinates,
+// vantage/heatmap sets, a synthetic incident schedule on core circuits,
+// one mid-campaign circuit, and an IP baseline plane with one hub per
+// ISD. Same spec ⇒ byte-identical scenario.
+func Generate(spec GenSpec) (*Scenario, error) {
+	g := spec.withDefaults()
+	if g.ISDs < 1 {
+		return nil, fmt.Errorf("scenario: gen: need at least 1 ISD, got %d", g.ISDs)
+	}
+	minASes := g.ISDs * (g.CoresPerISD + 3)
+	if g.ASes < minASes {
+		return nil, fmt.Errorf("scenario: gen: %d ASes cannot fill %d ISDs with %d cores + transit + leaf tiers each (need >= %d)",
+			g.ASes, g.ISDs, g.CoresPerISD, minASes)
+	}
+	if g.CoresPerISD < 2 {
+		return nil, fmt.Errorf("scenario: gen: need at least 2 cores per ISD, got %d", g.CoresPerISD)
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+
+	s := &Scenario{
+		Version: Version,
+		Name:    g.Name(),
+		Description: fmt.Sprintf("Synthetic %d-ISD / %d-AS topology (seed %d): core cliques, dual-homed transit tier, leaf attachment, geo-derived latencies.",
+			g.ISDs, g.ASes, g.Seed),
+		Campaign: Campaign{
+			Days:                 g.Days,
+			IntervalMinutes:      10,
+			QuickDays:            1,
+			QuickIntervalMinutes: 30,
+			// Synthetic graphs have far more path diversity than the
+			// 28-site deployment; a tight beacon store keeps the
+			// path-set (and campaign cost) bounded.
+			BestPerOrigin: 4,
+		},
+	}
+
+	// Per-ISD AS budget: split the total evenly, remainder to the
+	// earliest ISDs.
+	type isdPlan struct {
+		num              uint16
+		cores            []addr.IA
+		transits         []addr.IA
+		leaves           []addr.IA
+		ctrLat, ctrLon   float64
+		coreN, transN, n int
+	}
+	plans := make([]*isdPlan, g.ISDs)
+	for i := range plans {
+		n := g.ASes / g.ISDs
+		if i < g.ASes%g.ISDs {
+			n++
+		}
+		transN := (n - g.CoresPerISD) / 6
+		if transN < 2 {
+			transN = 2
+		}
+		// ISD centers march around the globe, one longitude sector per
+		// ISD, with a seeded latitude band.
+		plans[i] = &isdPlan{
+			num:    uint16(10 + i),
+			n:      n,
+			coreN:  g.CoresPerISD,
+			transN: transN,
+			ctrLat: round2(rng.Float64()*100 - 50),
+			ctrLon: round2(-180 + 360*(float64(i)+0.5)/float64(g.ISDs)),
+		}
+	}
+
+	jitter := func(ctr, spread float64) float64 { return round2(ctr + (rng.Float64()*2-1)*spread) }
+	clampLat := func(lat float64) float64 {
+		if lat > 85 {
+			return 85
+		}
+		if lat < -85 {
+			return -85
+		}
+		return lat
+	}
+
+	// Synthesized deployment metadata: the timeline figure wants joined
+	// dates and per-kind efforts even on synthetic graphs.
+	joinIdx := 0
+	joined := func() string {
+		m := joinIdx % 42 // 3.5 years of rollout
+		joinIdx++
+		return fmt.Sprintf("%04d-%02d", 2022+m/12, 1+m%12)
+	}
+
+	for _, p := range plans {
+		asn := 1
+		addAS := func(role string, spread, effortBase float64, kind string) addr.IA {
+			ia := addr.MustParseIA(fmt.Sprintf("%d-%d", p.num, asn))
+			s.ASes = append(s.ASes, AS{
+				Name:   fmt.Sprintf("%s%d-%d", role, p.num, asn),
+				IA:     ia,
+				Core:   role == "core",
+				Role:   role,
+				Region: fmt.Sprintf("R%d", p.num),
+				Lat:    clampLat(jitter(p.ctrLat, spread)),
+				Lon:    jitter(p.ctrLon, spread),
+				Joined: joined(),
+				Effort: effortBase + float64(rng.Intn(3)),
+				Kind:   kind,
+			})
+			asn++
+			return ia
+		}
+		for c := 0; c < p.coreN; c++ {
+			p.cores = append(p.cores, addAS("core", 3, 7, "core-backbone"))
+		}
+		for t := 0; t < p.transN; t++ {
+			p.transits = append(p.transits, addAS("transit", 8, 4, "nren-attach"))
+		}
+		for l := 0; l < p.n-p.coreN-p.transN; l++ {
+			kind := "leaf-vlan"
+			if rng.Intn(2) == 1 {
+				kind = "leaf-new-vlan"
+			}
+			p.leaves = append(p.leaves, addAS("leaf", 15, 1, kind))
+		}
+	}
+
+	// Core clique within each ISD.
+	for _, p := range plans {
+		for i := 0; i < len(p.cores); i++ {
+			for j := i + 1; j < len(p.cores); j++ {
+				s.Links = append(s.Links, Link{
+					Name: fmt.Sprintf("core:%d:%d-%d", p.num, i, j),
+					A:    p.cores[i], B: p.cores[j], Type: LinkCore,
+				})
+			}
+		}
+	}
+	// Inter-ISD ring: two parallel circuits between adjacent ISDs.
+	if g.ISDs > 1 {
+		for i := range plans {
+			j := (i + 1) % g.ISDs
+			if g.ISDs == 2 && i == 1 {
+				break // avoid doubling the single ring edge
+			}
+			for k := 0; k < 2; k++ {
+				s.Links = append(s.Links, Link{
+					Name: fmt.Sprintf("xisd:%d-%d:%d", plans[i].num, plans[j].num, k),
+					A:    plans[i].cores[k], B: plans[j].cores[k], Type: LinkCore,
+				})
+			}
+		}
+	}
+	// Transit tier: each transit dual-homes to two distinct cores of
+	// its ISD.
+	for _, p := range plans {
+		for t, ia := range p.transits {
+			first := rng.Intn(len(p.cores))
+			second := (first + 1 + rng.Intn(len(p.cores)-1)) % len(p.cores)
+			for k, c := range []int{first, second} {
+				s.Links = append(s.Links, Link{
+					Name: fmt.Sprintf("tr:%d-%d:%d", p.num, t, k),
+					A:    p.cores[c], B: ia, Type: LinkParent,
+				})
+			}
+		}
+	}
+	// Leaf attachment: one or two parent circuits into the transit
+	// tier.
+	for _, p := range plans {
+		for l, ia := range p.leaves {
+			homes := 1 + rng.Intn(2)
+			first := rng.Intn(len(p.transits))
+			parents := []int{first}
+			if homes == 2 {
+				parents = append(parents, (first+1+rng.Intn(len(p.transits)-1))%len(p.transits))
+			}
+			for k, tr := range parents {
+				s.Links = append(s.Links, Link{
+					Name: fmt.Sprintf("leaf:%d-%d:%d", p.num, l, k),
+					A:    p.transits[tr], B: ia, Type: LinkParent,
+				})
+			}
+		}
+	}
+
+	// Vantage: each ISD contributes its first core, transit, and leaf —
+	// a cross-tier cross-ISD measurement mesh.
+	for _, p := range plans {
+		cand := []addr.IA{p.cores[0], p.transits[0]}
+		if len(p.leaves) > 0 {
+			cand = append(cand, p.leaves[0])
+		}
+		if len(cand) > g.VantagePerISD {
+			cand = cand[:g.VantagePerISD]
+		}
+		s.Vantage = append(s.Vantage, cand...)
+	}
+
+	// Incident schedule: outages across the intra-ISD core circuits,
+	// every other one flapping, staggered through the campaign.
+	coreLinkNames := []string{}
+	for _, l := range s.Links {
+		if strings.HasPrefix(l.Name, "core:") {
+			coreLinkNames = append(coreLinkNames, l.Name)
+		}
+	}
+	horizon := float64(g.Days) * 24
+	for i := 0; i < g.Incidents && len(coreLinkNames) > 0; i++ {
+		target := coreLinkNames[rng.Intn(len(coreLinkNames))]
+		inc := Incident{
+			Name:          fmt.Sprintf("outage-%d", i+1),
+			Links:         []string{target},
+			StartHours:    round2(horizon * (float64(i) + 0.25) / float64(g.Incidents+1)),
+			DurationHours: round2(0.5 + rng.Float64()*2),
+		}
+		if i%2 == 1 {
+			inc.FlapPeriodHours = 0.5
+			inc.FlapDowntimeHours = 0.2
+		}
+		s.Incidents = append(s.Incidents, inc)
+	}
+
+	// One circuit provisioned mid-campaign: an extra inter-ISD (or
+	// intra-clique) core circuit lighting up at the halfway mark.
+	nlA, nlB := plans[0].cores[len(plans[0].cores)-1], plans[len(plans)-1].cores[len(plans[len(plans)-1].cores)-1]
+	if nlA == nlB {
+		nlB = plans[0].cores[0]
+	}
+	s.NewLinks = append(s.NewLinks, NewLink{
+		Link:          Link{Name: "newcircuit-1", A: nlA, B: nlB, Type: LinkCore, ExtraMS: 0.5},
+		ActivateHours: horizon / 2,
+	})
+
+	// IP baseline: one transit hub per ISD center, hubs on a ring, the
+	// first ISD's region dual-homes.
+	plane := &IPPlane{}
+	for i, p := range plans {
+		plane.Hubs = append(plane.Hubs, IPHub{
+			Name: fmt.Sprintf("hub%d", i+1),
+			IA:   addr.MustParseIA(fmt.Sprintf("1-%d", i+1)),
+			Lat:  p.ctrLat, Lon: p.ctrLon,
+		})
+	}
+	if g.ISDs > 1 {
+		for i := range plans {
+			j := (i + 1) % g.ISDs
+			if g.ISDs == 2 && i == 1 {
+				break
+			}
+			plane.Edges = append(plane.Edges, IPEdge{A: plane.Hubs[i].Name, B: plane.Hubs[j].Name, Detour: 1.2})
+		}
+	}
+	plane.DualHomeRegions = []string{fmt.Sprintf("R%d", plans[0].num)}
+	s.IPPlane = plane
+
+	// Traffic: a bidirectional open-loop load between the first two
+	// vantage ASes, sized for smoke runs.
+	s.Traffic = &Traffic{
+		Pairs: []TrafficPair{
+			{Src: s.Vantage[0], Dst: s.Vantage[1]},
+			{Src: s.Vantage[1], Dst: s.Vantage[0]},
+		},
+		EndpointsPerSource: 1 << 16,
+		ArrivalRatePerPair: 2_000,
+		FlowPackets:        32,
+		PayloadBytes:       200,
+		PacketIntervalMS:   100,
+		Burst:              4,
+		HorizonMS:          300,
+		IntraASDelayUS:     1,
+		Seed:               42,
+	}
+
+	if err := Finish(s); err != nil {
+		return nil, fmt.Errorf("scenario: generated scenario invalid (spec %+v): %w", g, err)
+	}
+	return s, nil
+}

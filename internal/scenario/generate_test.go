@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"sciera/internal/addr"
+)
+
+func TestGenerateSeedDeterminism(t *testing.T) {
+	spec := GenSpec{Seed: 7, ISDs: 3, ASes: 60}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("same seed produced different scenarios")
+	}
+
+	c, err := Generate(GenSpec{Seed: 8, ISDs: 3, ASes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, cc) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}
+
+func TestGenerateDefaultSpecScale(t *testing.T) {
+	s, err := Generate(GenSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ASes) < 200 {
+		t.Errorf("default spec generated %d ASes, want >= 200", len(s.ASes))
+	}
+	isds := map[addr.ISD]bool{}
+	for _, a := range s.ASes {
+		isds[a.IA.ISD()] = true
+	}
+	if len(isds) < 3 {
+		t.Errorf("default spec generated %d ISDs, want >= 3", len(isds))
+	}
+	if len(s.Vantage) < 6 {
+		t.Errorf("only %d vantage ASes", len(s.Vantage))
+	}
+	if len(s.Incidents) == 0 || len(s.NewLinks) == 0 {
+		t.Error("default spec missing incidents or mid-campaign links")
+	}
+	if s.IPPlane == nil || s.Traffic == nil {
+		t.Error("default spec missing IP plane or traffic section")
+	}
+	if err := RoundTrip(s); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if _, err := s.Build(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := s.BuildIPPlane(); err != nil {
+		t.Fatalf("build IP plane: %v", err)
+	}
+}
+
+func TestGenerateSmallAndSingleISD(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Seed: 3, ISDs: 1, ASes: 10, CoresPerISD: 2},
+		{Seed: 3, ISDs: 2, ASes: 16},
+		{Seed: 9, ISDs: 5, ASes: 300},
+	} {
+		s, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		if len(s.ASes) != spec.ASes {
+			t.Errorf("spec %+v: generated %d ASes", spec, len(s.ASes))
+		}
+	}
+}
+
+func TestGenerateRejectsImpossibleSpecs(t *testing.T) {
+	if _, err := Generate(GenSpec{Seed: 1, ISDs: 3, ASes: 9}); err == nil {
+		t.Error("undersized spec accepted")
+	}
+	if _, err := Generate(GenSpec{Seed: 1, ISDs: -1}); err == nil {
+		t.Error("negative ISD count accepted")
+	}
+	if _, err := Generate(GenSpec{Seed: 1, CoresPerISD: 1, ASes: 30}); err == nil {
+		t.Error("single-core clique accepted")
+	}
+}
+
+func TestParseGenName(t *testing.T) {
+	g, err := ParseGenName("gen:ases=200,isds=4,seed=7,cores=3,vantage=2,incidents=6,days=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenSpec{Seed: 7, ISDs: 4, ASes: 200, CoresPerISD: 3, VantagePerISD: 2, Incidents: 6, Days: 2}
+	if g != want {
+		t.Fatalf("parsed %+v, want %+v", g, want)
+	}
+	if g, err := ParseGenName("gen"); err != nil || g != (GenSpec{}) {
+		t.Fatalf("bare gen: %+v, %v", g, err)
+	}
+	if _, err := ParseGenName("gen:seed=x"); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if _, err := ParseGenName("gen:nope=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestResolveGen(t *testing.T) {
+	s, err := Resolve("gen:isds=2,ases=16,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "gen-isds2-ases16-seed5" {
+		t.Errorf("resolved name %q", s.Name)
+	}
+}

@@ -278,6 +278,19 @@ func (t *Topology) LinksOf(ia addr.IA) []*Link {
 	return append([]*Link(nil), t.byIA[ia]...)
 }
 
+// LinkIDByName resolves a circuit by its name (incident calendars and
+// orchestration scripts address links by name, not ID).
+func (t *Topology) LinkIDByName(name string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, l := range t.links {
+		if l.Name == name {
+			return l.ID, true
+		}
+	}
+	return 0, false
+}
+
 // LinkAt resolves an AS-local interface to its link.
 func (t *Topology) LinkAt(end LinkEnd) (*Link, bool) {
 	t.mu.RLock()
