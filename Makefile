@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard doc-check scenario-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load reference reference-pki
+.PHONY: all build test race vet fmt-check alloc-guard doc-check scenario-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control reference reference-pki
 
 all: build
 
@@ -29,10 +29,11 @@ fmt-check:
 
 # The allocation guards skip under -race (its instrumentation
 # allocates), so verify runs them separately without it. Covers the
-# router fast path (single-packet and batched), the simulator, and the
-# warm chain-cache verify path.
+# router fast path (single-packet and batched), the simulator, the
+# warm chain-cache verify path, and the daemon's warm combine-cache
+# lookup.
 alloc-guard:
-	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki
+	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki ./internal/daemon
 
 # Every internal package must carry a godoc package comment: the
 # architecture guide (docs/architecture.md) leans on them as the
@@ -62,13 +63,13 @@ scenario-check:
 	done
 	@$(GO) run ./cmd/experiments -scenario-dump -scenario sciera | diff -u scenarios/sciera.json - \
 		|| { echo "scenario-check: scenarios/sciera.json is out of sync with the builtin (regenerate with -scenario-dump)"; exit 1; }
-	@$(GO) run ./cmd/experiments -quick -run fig5 -scenario gen:isds=3,ases=60,seed=1 > /dev/null
+	@$(GO) run ./cmd/experiments -quick -run fig5 -scenario gen:isds=3,ases=100,seed=1 > /dev/null
 	@echo "scenario-check: OK"
 
 verify: build race alloc-guard vet fmt-check doc-check scenario-check
 	@echo "verify: OK"
 
-bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load
+bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control
 
 bench-micro:
 	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator ./internal/segment ./internal/beacon
@@ -98,6 +99,14 @@ bench-dataplane:
 # agreement asserted; refreshes BENCH_load.json.
 bench-load:
 	$(GO) run ./cmd/loadbench -out BENCH_load.json
+
+# Control-plane scale-out on generated 50/100/200-AS topologies:
+# path-lookup latency in scan / indexed / memoized-warm modes (warm
+# must beat the linear-scan baseline by >= 5x at 200 ASes) plus the
+# best-K-vs-unbounded beacon round ablation; refreshes
+# BENCH_control.json.
+bench-control:
+	$(GO) run ./cmd/controlbench -out BENCH_control.json
 
 # Regenerates the committed reference run; diff must be empty.
 reference:

@@ -1,0 +1,299 @@
+// Command controlbench measures the control-plane scale-out changes on
+// synthetic gen: topologies at 50, 100 and 200 ASes and records the
+// results as JSON (BENCH_control.json via the Makefile bench-control
+// target).
+//
+// Two ablations per size:
+//
+//   - Beacon round wall time with best-K propagation pruning (-bestk,
+//     default 8 — tighter than DefaultPropagateBestK, whose
+//     reference-preserving 24 never engages on these topologies)
+//     against unbounded flooding, with the propagated / pruned /
+//     registered counter deltas for one full refresh.
+//   - Path-lookup latency in three modes over the same registry:
+//     "scan" (linear-scan segment stores + a fresh Combine per call —
+//     the pre-index control plane), "indexed" (two-level (firstIA,
+//     lastIA) bucket probes + a fresh Combine per call), and "warm"
+//     (the memoized Network.Paths fast path the campaign hot loop
+//     actually hits).
+//
+// The acceptance gate requires the warm lookup to be at least 5x the
+// scan baseline's throughput on the largest topology; the run exits
+// non-zero when the gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sciera/internal/addr"
+	"sciera/internal/combinator"
+	"sciera/internal/core"
+	"sciera/internal/scenario"
+	"sciera/internal/segment"
+	"sciera/internal/simnet"
+)
+
+// gateSpeedup is the acceptance floor for warm-lookup throughput
+// relative to the linear-scan baseline at the largest size.
+const gateSpeedup = 5.0
+
+// measureFloor is the minimum sampling window per lookup mode; passes
+// over the pair set repeat until it is exceeded.
+const measureFloor = 200 * time.Millisecond
+
+type roundResult struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Propagated  uint64  `json:"propagated"`
+	Pruned      uint64  `json:"pruned"`
+	Registered  uint64  `json:"registered"`
+}
+
+type lookupResult struct {
+	Pairs              int     `json:"pairs"`
+	PathsPerLookup     float64 `json:"paths_per_lookup"`
+	ScanNsPerLookup    float64 `json:"scan_ns_per_lookup"`
+	IndexedNsPerLookup float64 `json:"indexed_ns_per_lookup"`
+	WarmNsPerLookup    float64 `json:"warm_ns_per_lookup"`
+	IndexedSpeedup     float64 `json:"indexed_speedup_vs_scan"`
+	WarmSpeedup        float64 `json:"warm_speedup_vs_scan"`
+}
+
+type sizeReport struct {
+	Scenario     string       `json:"scenario"`
+	ASes         int          `json:"ases"`
+	BestK        int          `json:"propagate_best_k"`
+	CoreSegments int          `json:"core_segments"`
+	DownSegments int          `json:"down_segments"`
+	Bounded      roundResult  `json:"beacon_round_bestk"`
+	Unbounded    roundResult  `json:"beacon_round_unbounded"`
+	FloodRatio   float64      `json:"unbounded_propagated_ratio"`
+	Lookup       lookupResult `json:"lookup"`
+}
+
+type report struct {
+	Timestamp    string       `json:"timestamp"`
+	HostCPUs     int          `json:"host_cpus"`
+	Seed         int64        `json:"seed"`
+	Sizes        []sizeReport `json:"sizes"`
+	GateSpeedup  float64      `json:"gate_warm_speedup_floor"`
+	GateAchieved float64      `json:"gate_warm_speedup_at_max"`
+	GatePass     bool         `json:"gate_pass"`
+}
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 7, "generator seed for the gen: topologies")
+		bestK = flag.Int("bestk", 8, "propagation/registration best-K bound for the pruned arm")
+		quick = flag.Bool("quick", false, "run only the 50-AS size")
+		out   = flag.String("out", "BENCH_control.json", "write the JSON report here")
+	)
+	flag.Parse()
+
+	sizes := []int{50, 100, 200}
+	if *quick {
+		sizes = sizes[:1]
+	}
+	rep := report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:    runtime.NumCPU(),
+		Seed:        *seed,
+		GateSpeedup: gateSpeedup,
+	}
+	for _, ases := range sizes {
+		sr, err := runSize(ases, *bestK, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "controlbench: %d ASes: %v\n", ases, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "controlbench: %s: round %.2fs best-K vs %.2fs unbounded; lookup scan %.0fns, indexed %.0fns (%.1fx), warm %.0fns (%.1fx)\n",
+			sr.Scenario, sr.Bounded.WallSeconds, sr.Unbounded.WallSeconds,
+			sr.Lookup.ScanNsPerLookup, sr.Lookup.IndexedNsPerLookup, sr.Lookup.IndexedSpeedup,
+			sr.Lookup.WarmNsPerLookup, sr.Lookup.WarmSpeedup)
+		rep.Sizes = append(rep.Sizes, sr)
+	}
+	rep.GateAchieved = rep.Sizes[len(rep.Sizes)-1].Lookup.WarmSpeedup
+	rep.GatePass = rep.GateAchieved >= gateSpeedup
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "controlbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "controlbench:", err)
+		os.Exit(1)
+	}
+	if !rep.GatePass {
+		fmt.Fprintf(os.Stderr, "controlbench: FAIL: warm lookup %.1fx scan at %d ASes, floor %.1fx\n",
+			rep.GateAchieved, sizes[len(sizes)-1], gateSpeedup)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "controlbench: warm lookup %.1fx scan at %d ASes (floor %.1fx); report in %s\n",
+		rep.GateAchieved, sizes[len(sizes)-1], gateSpeedup, *out)
+}
+
+// runSize benchmarks one generated topology size: a best-K and an
+// unbounded network for the beacon-round ablation, then the three
+// lookup modes over the best-K network's registry.
+func runSize(ases, bestK int, seed int64) (sizeReport, error) {
+	// cores=8 densifies each ISD's core clique so same-origin beacon
+	// groups actually exceed the best-K bound — with the default 4-core
+	// cliques pruning never engages and the ablation arms coincide.
+	spec := fmt.Sprintf("gen:isds=3,ases=%d,cores=8,seed=%d", ases, seed)
+	sr := sizeReport{Scenario: spec, ASes: ases, BestK: bestK}
+
+	nB, sc, err := buildGen(spec, seed, bestK)
+	if err != nil {
+		return sr, err
+	}
+	defer nB.Close()
+	nU, _, err := buildGen(spec, seed, -1)
+	if err != nil {
+		return sr, err
+	}
+	defer nU.Close()
+
+	if sr.Bounded, err = timeRound(nB); err != nil {
+		return sr, err
+	}
+	if sr.Unbounded, err = timeRound(nU); err != nil {
+		return sr, err
+	}
+	if sr.Bounded.Propagated > 0 {
+		sr.FloodRatio = round2(float64(sr.Unbounded.Propagated) / float64(sr.Bounded.Propagated))
+	}
+
+	reg := nB.Registry()
+	sr.CoreSegments = reg.Core.Len()
+	sr.DownSegments = reg.Down.Len()
+
+	pairs := vantagePairs(sc)
+	if len(pairs) == 0 {
+		return sr, fmt.Errorf("scenario %s has no vantage pairs", spec)
+	}
+	sr.Lookup.Pairs = len(pairs)
+
+	scan := func(src, dst addr.IA) int {
+		var ups []*segment.Segment
+		if db := reg.Up[src]; db != nil {
+			ups = db.GetScan(0, 0)
+		}
+		return len(combinator.Combine(src, dst, ups, reg.Core.GetScan(0, 0), reg.Down.GetScan(0, dst)))
+	}
+	indexed := func(src, dst addr.IA) int {
+		var ups []*segment.Segment
+		if db := reg.Up[src]; db != nil {
+			ups = db.All()
+		}
+		return len(combinator.Combine(src, dst, ups, reg.Core.All(), reg.Down.Get(0, dst)))
+	}
+	warm := func(src, dst addr.IA) int { return len(nB.Paths(src, dst)) }
+	for _, p := range pairs { // prime the memo so "warm" measures steady state
+		warm(p[0], p[1])
+	}
+
+	sr.Lookup.ScanNsPerLookup, sr.Lookup.PathsPerLookup = measure(pairs, scan)
+	sr.Lookup.IndexedNsPerLookup, _ = measure(pairs, indexed)
+	sr.Lookup.WarmNsPerLookup, _ = measure(pairs, warm)
+	sr.Lookup.IndexedSpeedup = round2(sr.Lookup.ScanNsPerLookup / sr.Lookup.IndexedNsPerLookup)
+	sr.Lookup.WarmSpeedup = round2(sr.Lookup.ScanNsPerLookup / sr.Lookup.WarmNsPerLookup)
+	return sr, nil
+}
+
+// buildGen constructs a network on the generated topology, with best-K
+// pruning at its default (bestK=0) or disabled (bestK=-1).
+func buildGen(spec string, seed int64, bestK int) (*core.Network, *scenario.Scenario, error) {
+	g, err := scenario.ParseGenName(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := scenario.Generate(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := sc.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := core.Build(topo, simnet.NewSim(sc.Campaign.Start()), core.Options{
+		Seed:           seed,
+		BestPerOrigin:  sc.Campaign.BestPerOrigin,
+		PropagateBestK: bestK,
+		RegisterBestK:  bestK,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, sc, nil
+}
+
+// timeRound runs one full control-plane refresh and reports its wall
+// time plus the beacon counter deltas it produced.
+func timeRound(n *core.Network) (roundResult, error) {
+	p0, x0, r0 := beaconCounters(n)
+	t0 := time.Now()
+	if err := n.RefreshControlPlane(); err != nil {
+		return roundResult{}, err
+	}
+	wall := time.Since(t0)
+	p1, x1, r1 := beaconCounters(n)
+	return roundResult{
+		WallSeconds: round2(wall.Seconds()),
+		Propagated:  p1 - p0,
+		Pruned:      x1 - x0,
+		Registered:  r1 - r0,
+	}, nil
+}
+
+// beaconCounters reads the cumulative beacon propagation counters.
+func beaconCounters(n *core.Network) (propagated, pruned, registered uint64) {
+	for _, m := range n.TelemetrySnapshot().Metrics {
+		switch m.Name {
+		case "sciera_beacon_propagated_total":
+			propagated = uint64(m.Value)
+		case "sciera_beacon_pruned_total":
+			pruned = uint64(m.Value)
+		case "sciera_beacon_registered_total":
+			registered = uint64(m.Value)
+		}
+	}
+	return propagated, pruned, registered
+}
+
+// vantagePairs enumerates all ordered vantage pairs — the lookups the
+// measurement campaign resolves every probe interval.
+func vantagePairs(sc *scenario.Scenario) [][2]addr.IA {
+	var pairs [][2]addr.IA
+	for _, src := range sc.Vantage {
+		for _, dst := range sc.Vantage {
+			if src != dst {
+				pairs = append(pairs, [2]addr.IA{src, dst})
+			}
+		}
+	}
+	return pairs
+}
+
+// measure repeats passes over the pair set until the sampling floor is
+// exceeded and returns mean ns per lookup plus mean paths per lookup.
+func measure(pairs [][2]addr.IA, f func(src, dst addr.IA) int) (nsPerLookup, pathsPerLookup float64) {
+	var lookups, paths int
+	t0 := time.Now()
+	for time.Since(t0) < measureFloor {
+		for _, p := range pairs {
+			paths += f(p[0], p[1])
+			lookups++
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(elapsed.Nanoseconds()) / float64(lookups), float64(paths) / float64(lookups)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

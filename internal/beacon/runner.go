@@ -28,6 +28,9 @@ type RunnerMetrics struct {
 	// avoidance, the no-commercial-transit rule, down links, and
 	// beacon-store rejections.
 	Filtered telemetry.Counter
+	// Pruned counts accepted beacons suppressed from re-propagation by
+	// the best-K selection bound (they stay registrable locally).
+	Pruned telemetry.Counter
 	// Registered counts beacons terminated into registered segments.
 	Registered telemetry.Counter
 	// Verified counts received beacons whose signatures verified on
@@ -46,6 +49,7 @@ func (m *RunnerMetrics) Register(reg *telemetry.Registry) {
 	reg.RegisterCounter("sciera_beacon_originated_total", "PCBs originated at core ASes", &m.Originated)
 	reg.RegisterCounter("sciera_beacon_propagated_total", "beacon extensions propagated to neighbors", &m.Propagated)
 	reg.RegisterCounter("sciera_beacon_filtered_total", "beacon extensions suppressed by policy or store", &m.Filtered)
+	reg.RegisterCounter("sciera_beacon_pruned_total", "accepted beacons not re-propagated due to the best-K bound", &m.Pruned)
 	reg.RegisterCounter("sciera_beacon_registered_total", "beacons terminated into registered segments", &m.Registered)
 	reg.RegisterCounter("sciera_beacon_verified_total", "received beacons whose signatures verified on receipt", &m.Verified)
 	reg.RegisterCounter("sciera_beacon_verify_failed_total", "received beacons dropped on signature verification failure", &m.VerifyFailed)
@@ -79,6 +83,17 @@ type Runner struct {
 	Timestamp uint32
 	// BestPerOrigin bounds beacon stores (DefaultBestPerOrigin if 0).
 	BestPerOrigin int
+	// PropagateBestK bounds how many same-origin beacons one AS
+	// re-propagates per round, selected by SelectBestK
+	// (DefaultPropagateBestK if 0, unbounded if negative). Accepted
+	// beacons beyond the bound stay in the store — registrable, just not
+	// flooded onward.
+	PropagateBestK int
+	// RegisterBestK bounds how many stored beacons per origin an AS
+	// terminates into registered segments, selected by SelectBestK
+	// (the store bound if 0 — i.e. register everything kept — unbounded
+	// if negative).
+	RegisterBestK int
 	// MaxRounds bounds propagation (default: #ASes + 2).
 	MaxRounds int
 	// ExpTime is the relative hop expiry (default 63 ≈ 6h).
@@ -246,6 +261,68 @@ func (r *Runner) admit(verdicts []error, i int) bool {
 	return true
 }
 
+// groupKey identifies one best-K selection group: the beacons one AS
+// accepted from one origin within a single round.
+type groupKey struct{ to, origin addr.IA }
+
+// propagateK resolves the effective per-round propagation bound.
+func (r *Runner) propagateK() int {
+	switch {
+	case r.PropagateBestK < 0:
+		return 0
+	case r.PropagateBestK == 0:
+		return DefaultPropagateBestK
+	default:
+		return r.PropagateBestK
+	}
+}
+
+// registerK resolves the effective per-origin registration bound.
+func (r *Runner) registerK() int {
+	switch {
+	case r.RegisterBestK < 0:
+		return 0
+	case r.RegisterBestK == 0:
+		if r.BestPerOrigin > 0 {
+			return r.BestPerOrigin
+		}
+		return DefaultBestPerOrigin
+	default:
+		return r.RegisterBestK
+	}
+}
+
+// pruneGroups clears the accepted bit of beacons beyond the best-K
+// propagation bound, per (receiving AS, origin) group. Groups at or
+// under the bound are untouched, so on topologies that never exceed it
+// (the SCIERA reference graph) the propagation schedule is bit-identical
+// to unbounded flooding.
+func (r *Runner) pruneGroups(flights []flight, recvIf []uint16, accepted []bool, groups map[groupKey][]int) {
+	k := r.propagateK()
+	if k <= 0 {
+		return
+	}
+	for _, idxs := range groups {
+		if len(idxs) <= k {
+			continue
+		}
+		entries := make([]*Entry, len(idxs))
+		for j, i := range idxs {
+			entries[j] = &Entry{Seg: flights[i].seg, RecvIf: recvIf[i]}
+		}
+		keep := make(map[string]bool, k)
+		for _, e := range SelectBestK(entries, k) {
+			keep[e.Seg.RouteID()] = true
+		}
+		for _, i := range idxs {
+			if !keep[flights[i].seg.RouteID()] {
+				accepted[i] = false
+				r.Metrics.Pruned.Inc()
+			}
+		}
+	}
+}
+
 // extend appends the entry of 'at' to a received beacon and prepares it
 // to leave over link out (or terminate if out is nil).
 func (r *Runner) extend(seg *segment.Segment, at addr.IA, inIf uint16, out *topology.Link) (*segment.Segment, error) {
@@ -344,12 +421,19 @@ func (r *Runner) runCore(reg *Registry) error {
 		if r.verifier != nil {
 			verdicts = r.verifyFlights(flights)
 		}
-		var next []flight
+		// Insert phase: admit every verified flight into its receiver's
+		// store, grouping acceptances by (receiver, origin) for best-K
+		// selection. Store inserts run in flight order, exactly as the
+		// interleaved loop did.
+		accepted := make([]bool, len(flights))
+		recvIf := make([]uint16, len(flights))
+		groups := make(map[groupKey][]int)
 		for i, f := range flights {
 			inEnd, _ := f.l.Other(f.seg.ASEntries[len(f.seg.ASEntries)-1].IA)
 			if inEnd.IA != f.to {
 				return fmt.Errorf("beacon: internal: flight misrouted")
 			}
+			recvIf[i] = inEnd.IfID
 			if !r.admit(verdicts, i) {
 				continue
 			}
@@ -357,8 +441,19 @@ func (r *Runner) runCore(reg *Registry) error {
 				r.Metrics.Filtered.Inc()
 				continue
 			}
-			// Propagate onward over every other up core link whose far
-			// end is not already on the path.
+			accepted[i] = true
+			groups[groupKey{f.to, f.seg.FirstIA()}] = append(groups[groupKey{f.to, f.seg.FirstIA()}], i)
+		}
+		// Selection phase: bound what each AS floods onward per origin.
+		r.pruneGroups(flights, recvIf, accepted, groups)
+		// Extension phase: propagate the survivors over every other up
+		// core link whose far end is not already on the path, in the
+		// original flight order.
+		var next []flight
+		for i, f := range flights {
+			if !accepted[i] {
+				continue
+			}
 			for _, l := range r.Topo.UpLinksOf(f.to) {
 				if l.Type != topology.LinkCore || l.ID == f.l.ID {
 					continue
@@ -379,7 +474,7 @@ func (r *Runner) runCore(reg *Registry) error {
 					r.Metrics.Filtered.Inc()
 					continue
 				}
-				ext, err := r.extend(f.seg, f.to, inEnd.IfID, l)
+				ext, err := r.extend(f.seg, f.to, recvIf[i], l)
 				if err != nil {
 					return err
 				}
@@ -395,7 +490,7 @@ func (r *Runner) runCore(reg *Registry) error {
 	// terminating extension is the registering AS's own, so no re-verify.
 	for ia, store := range stores {
 		for _, es := range store.All() {
-			for _, e := range es {
+			for _, e := range SelectBestK(es, r.registerK()) {
 				term, err := r.extend(e.Seg, ia, e.RecvIf, nil)
 				if err != nil {
 					return err
@@ -441,14 +536,28 @@ func (r *Runner) runDown(reg *Registry) error {
 		if r.verifier != nil {
 			verdicts = r.verifyFlights(flights)
 		}
-		var next []flight
+		// Same three phases as runCore: insert, best-K selection per
+		// (receiver, origin), then extension in original flight order.
+		accepted := make([]bool, len(flights))
+		recvIf := make([]uint16, len(flights))
+		groups := make(map[groupKey][]int)
 		for i, f := range flights {
 			local, _ := f.l.Local(f.to)
+			recvIf[i] = local.IfID
 			if !r.admit(verdicts, i) {
 				continue
 			}
 			if !stores[f.to].Insert(f.seg, local.IfID) {
 				r.Metrics.Filtered.Inc()
+				continue
+			}
+			accepted[i] = true
+			groups[groupKey{f.to, f.seg.FirstIA()}] = append(groups[groupKey{f.to, f.seg.FirstIA()}], i)
+		}
+		r.pruneGroups(flights, recvIf, accepted, groups)
+		var next []flight
+		for i, f := range flights {
+			if !accepted[i] {
 				continue
 			}
 			for _, l := range r.Topo.Children(f.to) {
@@ -460,7 +569,7 @@ func (r *Runner) runDown(reg *Registry) error {
 					r.Metrics.Filtered.Inc()
 					continue
 				}
-				ext, err := r.extend(f.seg, f.to, local.IfID, l)
+				ext, err := r.extend(f.seg, f.to, recvIf[i], l)
 				if err != nil {
 					return err
 				}
@@ -473,7 +582,7 @@ func (r *Runner) runDown(reg *Registry) error {
 
 	for ia, store := range stores {
 		for _, es := range store.All() {
-			for _, e := range es {
+			for _, e := range SelectBestK(es, r.registerK()) {
 				term, err := r.extend(e.Seg, ia, e.RecvIf, nil)
 				if err != nil {
 					return err

@@ -3,7 +3,6 @@ package beacon
 import (
 	"crypto/x509"
 	"math/rand"
-	"sort"
 	"testing"
 	"time"
 
@@ -70,12 +69,13 @@ func provisionRunnerPKI(t testing.TB, topo *topology.Topology, rogue ...addr.IA)
 
 // routeIDs is a signature-independent fingerprint of a registry's
 // contents (signatures use crypto/rand, so raw bytes differ run to run).
+// pathdb.All returns segments in segment-ID order, so no re-sort is
+// needed for the fingerprint to be comparable across runs.
 func routeIDs(db *pathdb.DB) []string {
 	out := make([]string, 0, db.Len())
 	for _, s := range db.All() {
 		out = append(out, s.RouteID())
 	}
-	sort.Strings(out)
 	return out
 }
 

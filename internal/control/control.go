@@ -11,9 +11,11 @@
 package control
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/netip"
 	"sync"
 	"time"
@@ -33,6 +35,12 @@ type Request struct {
 	Dst  addr.IA  `json:"dst,omitempty"`
 	ISD  addr.ISD `json:"isd,omitempty"`
 	CSR  []byte   `json:"csr,omitempty"`
+	// Gen echoes the generation token of the requester's last "paths"
+	// response for the same destination (0: none). When the serving
+	// segment stores are unchanged, the service answers NotModified
+	// instead of re-encoding every segment, and the daemon serves its
+	// memoized combination.
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // Response is a control-service RPC response.
@@ -43,6 +51,13 @@ type Response struct {
 	Ups   []json.RawMessage `json:"ups,omitempty"`
 	Cores []json.RawMessage `json:"cores,omitempty"`
 	Downs []json.RawMessage `json:"downs,omitempty"`
+
+	// Gen is the generation token of the segment stores this "paths"
+	// response was served from (never 0). NotModified reports that the
+	// stores still match the request's Gen; the segment lists are
+	// omitted and the requester's cached combination remains valid.
+	Gen         uint64 `json:"gen,omitempty"`
+	NotModified bool   `json:"not_modified,omitempty"`
 
 	TRC []byte `json:"trc,omitempty"`
 
@@ -132,8 +147,40 @@ func (s *Service) serve(req *Request) *Response {
 	return resp
 }
 
+// pathsGen derives the generation token for "paths" responses from the
+// change stamps of the three segment stores a lookup reads. Stamps fold
+// in each store's process-unique identity, so the token changes both on
+// in-place mutation and when a control-plane refresh swaps the whole
+// registry. Never 0 — daemons use 0 for "nothing cached".
+func (s *Service) pathsGen(reg *beacon.Registry) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	var up uint64
+	if db, ok := reg.Up[s.IA]; ok {
+		up = db.Stamp()
+	}
+	put(up)
+	put(reg.Core.Stamp())
+	put(reg.Down.Stamp())
+	g := h.Sum64()
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
 func (s *Service) servePaths(req *Request, resp *Response) {
 	reg := s.Registry()
+	resp.Gen = s.pathsGen(reg)
+	if req.Gen != 0 && req.Gen == resp.Gen {
+		// The requester combined exactly these stores already.
+		resp.NotModified = true
+		return
+	}
 	encode := func(segs []*segment.Segment) []json.RawMessage {
 		out := make([]json.RawMessage, 0, len(segs))
 		for _, seg := range segs {

@@ -55,6 +55,13 @@ type Options struct {
 	// BestPerOrigin bounds beacon stores (beacon.DefaultBestPerOrigin
 	// when zero). Larger values surface more path diversity.
 	BestPerOrigin int
+	// PropagateBestK bounds per-round same-origin beacon re-propagation
+	// (beacon.DefaultPropagateBestK when zero, unbounded when negative).
+	// Keeps core beaconing sub-quadratic on large generated topologies.
+	PropagateBestK int
+	// RegisterBestK bounds per-origin segment registration (the beacon
+	// store bound when zero, unbounded when negative).
+	RegisterBestK int
 	// UseDispatcher configures routers to deliver through the legacy
 	// shared dispatcher port (Section 4.8 ablation).
 	UseDispatcher bool
@@ -122,6 +129,21 @@ type Network struct {
 	// always the innermost lock, so there is no ordering cycle.
 	busyMu    sync.Mutex
 	busyUntil map[wireKey]time.Time
+
+	// pathsMu guards the memoized Combine results. pathsReg pins the
+	// registry epoch the cache was built against: a control-plane refresh
+	// publishes a new registry (and fresh path DBs), which empties the
+	// cache wholesale instead of letting stale (src, dst) keys linger.
+	pathsMu    sync.Mutex
+	pathsReg   *beacon.Registry
+	pathsCache map[[2]addr.IA]pathsCacheEntry
+}
+
+// pathsCacheEntry is one memoized path combination, valid while the
+// stamps of the three backing segment stores are unchanged.
+type pathsCacheEntry struct {
+	up, core, down uint64
+	paths          []*combinator.Path
 }
 
 // Build assembles the network: keys, PKI (optional), beaconing, routers.
@@ -324,12 +346,14 @@ func (n *Network) refreshControlPlane() error {
 		}
 	}
 	runner := &beacon.Runner{
-		Topo:          n.Topo,
-		Keys:          func(ia addr.IA) scrypto.HopKey { return n.keys[ia] },
-		Timestamp:     uint32(n.Opts.Now.Unix()),
-		BestPerOrigin: n.Opts.BestPerOrigin,
-		Rng:           n.rng,
-		Metrics:       n.beaconMetrics,
+		Topo:           n.Topo,
+		Keys:           func(ia addr.IA) scrypto.HopKey { return n.keys[ia] },
+		Timestamp:      uint32(n.Opts.Now.Unix()),
+		BestPerOrigin:  n.Opts.BestPerOrigin,
+		PropagateBestK: n.Opts.PropagateBestK,
+		RegisterBestK:  n.Opts.RegisterBestK,
+		Rng:            n.rng,
+		Metrics:        n.beaconMetrics,
 	}
 	if n.Opts.WithPKI {
 		runner.Signers = func(ia addr.IA) *cppki.Signer { return n.signers[ia] }
@@ -552,15 +576,47 @@ func (n *Network) Registry() *beacon.Registry {
 // Paths performs a path lookup from src to dst: up segments from the
 // source AS, core segments, down segments to the destination, combined
 // into end-to-end paths (sorted by hops, then latency).
+//
+// Combinations are memoized per (src, dst) against the stamps of the
+// backing segment stores, so the campaign hot path (every probe
+// interval re-resolves its pair) pays Combine once per control-plane
+// state instead of once per call. Callers share the returned slice and
+// must not mutate it — path policies already copy before reordering.
 func (n *Network) Paths(src, dst addr.IA) []*combinator.Path {
 	reg := n.Registry()
+	upDB := reg.Up[src]
+	var upStamp uint64
+	if upDB != nil {
+		upStamp = upDB.Stamp()
+	}
+	coreStamp, downStamp := reg.Core.Stamp(), reg.Down.Stamp()
+	key := [2]addr.IA{src, dst}
+	n.pathsMu.Lock()
+	if n.pathsReg == reg {
+		if e, ok := n.pathsCache[key]; ok && e.up == upStamp && e.core == coreStamp && e.down == downStamp {
+			n.pathsMu.Unlock()
+			return e.paths
+		}
+	} else {
+		n.pathsReg = reg
+		n.pathsCache = make(map[[2]addr.IA]pathsCacheEntry)
+	}
+	n.pathsMu.Unlock()
+
 	var upSegs []*segment.Segment
-	if db, ok := reg.Up[src]; ok {
-		upSegs = db.All()
+	if upDB != nil {
+		upSegs = upDB.All()
 	}
 	downs := reg.Down.Get(0, dst)
 	cores := reg.Core.All()
-	return combinator.Combine(src, dst, upSegs, cores, downs)
+	paths := combinator.Combine(src, dst, upSegs, cores, downs)
+
+	n.pathsMu.Lock()
+	if n.pathsReg == reg {
+		n.pathsCache[key] = pathsCacheEntry{up: upStamp, core: coreStamp, down: downStamp, paths: paths}
+	}
+	n.pathsMu.Unlock()
+	return paths
 }
 
 // SetLinkUp changes a link's state and refreshes the control plane.

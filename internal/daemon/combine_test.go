@@ -1,0 +1,111 @@
+package daemon_test
+
+import (
+	"testing"
+	"time"
+
+	"sciera/internal/core"
+	"sciera/internal/simnet"
+)
+
+// TestCombineCacheNotModified: when the TTL cache lapses but the
+// control-plane segment stores are unchanged, the refetch resolves via
+// the NotModified fast path — the memoized combination is served
+// without recombining — and a control-plane refresh (new registry, new
+// store generations) forces a real recombination and counts an
+// invalidation.
+func TestCombineCacheNotModified(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, err := n.NewDaemon(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.CacheTTL = 30 * time.Second
+
+	first, err := lookupSync(t, sim, d, lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no paths")
+	}
+	if hits, misses, _ := d.CombineStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first lookup: %d hits, %d misses", hits, misses)
+	}
+
+	// TTL lapses; stores unchanged → NotModified → memoized combination.
+	sim.RunFor(time.Minute)
+	warm, err := lookupSync(t, sim, d, lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := d.CombineStats(); hits != 1 || misses != 1 {
+		t.Fatalf("after warm lookup: %d hits, %d misses", hits, misses)
+	}
+	if len(warm) != len(first) {
+		t.Fatalf("warm lookup returned %d paths, first %d", len(warm), len(first))
+	}
+	for i := range warm {
+		if warm[i].Fingerprint != first[i].Fingerprint {
+			t.Fatalf("warm path %d differs from first lookup", i)
+		}
+	}
+
+	// A control-plane refresh publishes fresh stores: the echoed
+	// generation no longer matches, the service sends full segments,
+	// and the stale memo is replaced (counted as an invalidation).
+	if err := n.RefreshControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Minute)
+	if _, err := lookupSync(t, sim, d, lB); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, inv := d.CombineStats()
+	if hits != 1 || misses != 2 || inv != 1 {
+		t.Fatalf("after refresh: %d hits, %d misses, %d invalidations", hits, misses, inv)
+	}
+}
+
+// TestCombineCacheExpiryInvalidation: a memoized combination dies when
+// the segments backing it pass their expiry, even though the store
+// generation is unchanged — the daemon must not serve paths the data
+// plane would reject.
+func TestCombineCacheExpiryInvalidation(t *testing.T) {
+	sim := simnet.NewSim(time.Unix(1_700_000_000, 0))
+	n := buildNet(t, sim, core.Options{Seed: 1})
+	defer n.Close()
+	d, err := n.NewDaemon(lA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.CacheTTL = 30 * time.Second
+
+	paths, err := lookupSync(t, sim, d, lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+
+	// Cross every backing segment's expiry (hop ExpTime 63 ≈ 6h).
+	sim.RunFor(8 * time.Hour)
+	stale, err := lookupSync(t, sim, d, lB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Now()
+	for _, p := range stale {
+		if !p.Expiry.After(now) {
+			t.Fatalf("served an expired path (expiry %v, now %v)", p.Expiry, now)
+		}
+	}
+	if _, _, inv := d.CombineStats(); inv == 0 {
+		t.Fatal("segment expiry did not invalidate the memoized combination")
+	}
+}

@@ -48,6 +48,12 @@ type Daemon struct {
 	mu    sync.Mutex
 	trcs  *cppki.Store
 	cache map[addr.IA]cacheEntry
+	// combine memoizes the Combine result per destination, keyed by the
+	// control service's segment-store generation token. It outlives the
+	// TTL cache: when the TTL lapses but the stores are unchanged, the
+	// service answers NotModified and the memoized combination is served
+	// without re-decoding or recombining a single segment.
+	combine map[addr.IA]combineEntry
 	// inflight coalesces concurrent lookups for the same destination
 	// into one control-service fetch: the first caller owns the fetch,
 	// later callers park their callbacks here and are answered when it
@@ -57,6 +63,11 @@ type Daemon struct {
 	// lookups/hits/coalesced are telemetry cells so Stats() and a
 	// registered /metrics endpoint read the same numbers.
 	lookups, hits, coalesced telemetry.Counter
+	// cHits/cMisses/cInvalidations count combine-cache outcomes: lookups
+	// resolved from the memoized combination, lookups that had to
+	// recombine, and entries dropped because a backing segment expired
+	// or the store generation moved on.
+	cHits, cMisses, cInvalidations telemetry.Counter
 }
 
 // RegisterTelemetry adopts the daemon's counters into a registry,
@@ -66,11 +77,24 @@ func (d *Daemon) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCounter("sciera_daemon_lookups_total", "path lookups served by the daemon", &d.lookups, l)
 	reg.RegisterCounter("sciera_daemon_cache_hits_total", "path lookups answered from the daemon cache", &d.hits, l)
 	reg.RegisterCounter("sciera_daemon_lookups_coalesced_total", "path lookups coalesced onto an already in-flight fetch", &d.coalesced, l)
+	reg.RegisterCounter("sciera_daemon_combine_cache_hits_total", "lookups served from the memoized path combination", &d.cHits, l)
+	reg.RegisterCounter("sciera_daemon_combine_cache_misses_total", "lookups that re-ran path combination", &d.cMisses, l)
+	reg.RegisterCounter("sciera_daemon_combine_cache_invalidations_total", "memoized combinations dropped on segment expiry or generation change", &d.cInvalidations, l)
 }
 
 type cacheEntry struct {
 	paths   []*combinator.Path
 	expires time.Time
+}
+
+// combineEntry is one memoized path combination: valid while the control
+// service still serves generation gen and no backing segment has
+// expired (expiry is the earliest path expiry; serving the entry before
+// that instant equals recombining and filtering afresh).
+type combineEntry struct {
+	gen    uint64
+	paths  []*combinator.Path
+	expiry time.Time
 }
 
 // New creates a daemon and its control-service client.
@@ -86,6 +110,7 @@ func New(net simnet.Network, info Info, clientAddr netip.AddrPort) (*Daemon, err
 		CacheTTL: time.Minute,
 		trcs:     cppki.NewStore(),
 		cache:    make(map[addr.IA]cacheEntry),
+		combine:  make(map[addr.IA]combineEntry),
 		inflight: make(map[addr.IA][]func([]*combinator.Path, error)),
 	}, nil
 }
@@ -105,6 +130,13 @@ func (d *Daemon) Close() error { return d.cli.Close() }
 // Stats reports lookup and cache-hit counts.
 func (d *Daemon) Stats() (lookups, hits uint64) {
 	return d.lookups.Load(), d.hits.Load()
+}
+
+// CombineStats reports combine-cache outcomes: lookups served from the
+// memoized combination, lookups that recombined, and entries dropped on
+// segment expiry or generation change.
+func (d *Daemon) CombineStats() (hits, misses, invalidations uint64) {
+	return d.cHits.Load(), d.cMisses.Load(), d.cInvalidations.Load()
 }
 
 // PathsAsync resolves paths to dst, from cache when fresh, otherwise by
@@ -138,15 +170,49 @@ func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 		return
 	}
 	d.inflight[dst] = append(make([]func([]*combinator.Path, error), 0, 1), cb)
+	// Resolve which combine-cache generation to echo to the control
+	// service. An entry whose earliest path expiry has passed is stale
+	// even if the stores are unchanged — drop it and fetch in full.
+	gen := uint64(0)
+	if e, ok := d.combine[dst]; ok {
+		if now.Before(e.expiry) {
+			gen = e.gen
+		} else {
+			delete(d.combine, dst)
+			d.cInvalidations.Inc()
+		}
+	}
 	d.mu.Unlock()
 
-	d.cli.Do(&control.Request{Type: "paths", Dst: dst}, func(resp *control.Response, err error) {
+	d.fetch(dst, gen)
+}
+
+// fetch queries the control service for dst's segments, echoing the
+// memoized combination's generation token. A NotModified verdict
+// resolves against the combine cache (zero segment decodes, zero
+// recombination); anything else recombines and re-memoizes.
+func (d *Daemon) fetch(dst addr.IA, gen uint64) {
+	d.cli.Do(&control.Request{Type: "paths", Dst: dst, Gen: gen}, func(resp *control.Response, err error) {
 		if err != nil {
 			d.finishLookup(dst, nil, err, false)
 			return
 		}
 		if resp.Error != "" {
 			d.finishLookup(dst, nil, fmt.Errorf("daemon: control service: %s", resp.Error), false)
+			return
+		}
+		if resp.NotModified {
+			if paths, ok := d.combineWarm(dst, gen, d.net.Now()); ok {
+				d.finishLookup(dst, paths, nil, true)
+				return
+			}
+			// The entry vanished (flush, or expiry crossed while the
+			// request was on the wire): retry unconditionally.
+			if gen != 0 {
+				d.fetch(dst, 0)
+				return
+			}
+			d.finishLookup(dst, nil, fmt.Errorf("daemon: control service answered NotModified to an unconditional request"), false)
 			return
 		}
 		ups, err := control.DecodeSegments(resp.Ups)
@@ -164,6 +230,7 @@ func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 			d.finishLookup(dst, nil, err, false)
 			return
 		}
+		d.cMisses.Inc()
 		paths := combinator.Combine(d.info.LocalIA, dst, ups, cores, downs)
 		// Drop already-expired paths.
 		now := d.net.Now()
@@ -173,8 +240,52 @@ func (d *Daemon) PathsAsync(dst addr.IA, cb func([]*combinator.Path, error)) {
 				fresh = append(fresh, p)
 			}
 		}
+		d.storeCombine(dst, resp.Gen, fresh, now)
 		d.finishLookup(dst, fresh, nil, true)
 	})
+}
+
+// combineWarm resolves a NotModified verdict against the memoized
+// combination: the entry must still exist, carry the echoed generation,
+// and not have crossed its earliest path expiry. The hit path performs
+// no allocation (guarded by TestDaemonCombineCacheZeroAlloc).
+func (d *Daemon) combineWarm(dst addr.IA, gen uint64, now time.Time) ([]*combinator.Path, bool) {
+	d.mu.Lock()
+	e, ok := d.combine[dst]
+	if !ok || e.gen != gen || !now.Before(e.expiry) {
+		if ok {
+			delete(d.combine, dst)
+			d.cInvalidations.Inc()
+		}
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.cHits.Inc()
+	paths := e.paths
+	d.mu.Unlock()
+	return paths, true
+}
+
+// storeCombine memoizes a freshly combined (and expiry-filtered) path
+// set under the control service's generation token.
+func (d *Daemon) storeCombine(dst addr.IA, gen uint64, paths []*combinator.Path, now time.Time) {
+	if gen == 0 {
+		return
+	}
+	// Earliest backing expiry; an entry with no paths stays valid until
+	// the generation moves (an expired empty set is still empty).
+	expiry := now.Add(1000 * 24 * time.Hour)
+	for _, p := range paths {
+		if p.Expiry.Before(expiry) {
+			expiry = p.Expiry
+		}
+	}
+	d.mu.Lock()
+	if old, ok := d.combine[dst]; ok && old.gen != gen {
+		d.cInvalidations.Inc()
+	}
+	d.combine[dst] = combineEntry{gen: gen, paths: paths, expiry: expiry}
+	d.mu.Unlock()
 }
 
 // finishLookup resolves a singleflight fetch: caches the result when it
@@ -206,12 +317,13 @@ func (d *Daemon) Paths(dst addr.IA) ([]*combinator.Path, error) {
 	return res.paths, res.err
 }
 
-// FlushCache clears cached paths (e.g. after an SCMP interface-down
-// revocation makes cached paths suspect).
+// FlushCache clears cached paths and memoized combinations (e.g. after
+// an SCMP interface-down revocation makes cached paths suspect).
 func (d *Daemon) FlushCache() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.cache = make(map[addr.IA]cacheEntry)
+	d.combine = make(map[addr.IA]combineEntry)
 }
 
 // FetchTRCAsync retrieves and verifies the TRC for an ISD from the

@@ -2,25 +2,131 @@
 // servers: segments are registered under their (first, last) AS pair and
 // looked up with optional wildcards, exactly the <ISD-AS>-keyed
 // registration/lookup service the paper describes in Section 2.
+//
+// The store is indexed, not scanned: every segment is filed under the
+// nine (firstKey, lastKey) buckets formed by the three query shapes of
+// each endpoint — exact IA, ISD wildcard ("71-0"), and any — so a
+// lookup with any wildcard combination is a single map probe returning
+// a pre-sorted bucket. Buckets keep segments ordered by segment ID,
+// which makes Get's result order a property of the store itself rather
+// than something each caller has to re-establish, and a generation
+// counter (bumped on Insert, DeleteExpired and Clear) gives lookup
+// layers a cheap token to key memoized path combinations on.
 package pathdb
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciera/internal/addr"
 	"sciera/internal/segment"
 )
 
+// nextDBID hands out process-unique store identities; Stamp folds the
+// identity into the change token so tokens never collide across store
+// instances (a rebuilt registry's fresh DBs must not alias a prior
+// generation's tokens).
+var nextDBID atomic.Uint64
+
+// entry pairs a segment with its (cached) ID: the ID is a SHA-256 of
+// the route and timestamp, so sorted maintenance must not recompute it
+// per comparison.
+type entry struct {
+	id  string
+	seg *segment.Segment
+}
+
+// pairKey is one of the nine index buckets a segment is filed under:
+// each side is the exact endpoint IA, its ISD-wildcard form
+// (IA with AS 0), or the any-wildcard (zero IA).
+type pairKey struct{ first, last addr.IA }
+
 // DB is a concurrency-safe segment store.
 type DB struct {
 	mu   sync.RWMutex
+	id   uint64
+	gen  uint64
 	segs map[string]*segment.Segment // by segment ID
+	idx  map[pairKey][]entry         // each bucket sorted by segment ID
+	// weird holds segments whose own endpoints contain wildcard
+	// components (never produced by beaconing); they bypass the index
+	// and are merged into every lookup by a filtered scan.
+	weird []entry
 }
 
 // New creates an empty DB.
 func New() *DB {
-	return &DB{segs: make(map[string]*segment.Segment)}
+	return &DB{
+		id:   nextDBID.Add(1),
+		segs: make(map[string]*segment.Segment),
+		idx:  make(map[pairKey][]entry),
+	}
+}
+
+// Gen returns the store's generation: it increases whenever the stored
+// segment set changes (Insert, DeleteExpired, Clear).
+func (db *DB) Gen() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
+}
+
+// Stamp returns an opaque change token: unequal whenever the stored
+// segment set differs, including across distinct DB instances (the
+// store identity is folded in, so a rebuilt registry never aliases the
+// tokens of the one it replaced). Lookup layers key memoized
+// combinations on it.
+func (db *DB) Stamp() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.id<<24 | db.gen&0xffffff
+}
+
+// isdKey is the ISD-wildcard form of an IA (same ISD, AS zero).
+func isdKey(ia addr.IA) addr.IA {
+	k, _ := addr.NewIA(ia.ISD(), addr.WildcardAS)
+	return k
+}
+
+// indexable reports whether a segment's endpoints are plain (no
+// wildcard components), i.e. whether the nine bucket keys are distinct.
+func indexable(first, last addr.IA) bool {
+	return !first.IsZero() && !first.IsWildcard() && !last.IsZero() && !last.IsWildcard()
+}
+
+// keysOf returns the nine bucket keys of a segment's endpoint pair.
+func keysOf(first, last addr.IA) [9]pairKey {
+	fs := [3]addr.IA{first, isdKey(first), 0}
+	ls := [3]addr.IA{last, isdKey(last), 0}
+	var out [9]pairKey
+	i := 0
+	for _, f := range fs {
+		for _, l := range ls {
+			out[i] = pairKey{f, l}
+			i++
+		}
+	}
+	return out
+}
+
+// insertSorted files e into es keeping segment-ID order.
+func insertSorted(es []entry, e entry) []entry {
+	i := sort.Search(len(es), func(i int) bool { return es[i].id >= e.id })
+	es = append(es, entry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	return es
+}
+
+// removeSorted drops the entry with the given ID from es.
+func removeSorted(es []entry, id string) []entry {
+	i := sort.Search(len(es), func(i int) bool { return es[i].id >= id })
+	if i >= len(es) || es[i].id != id {
+		return es
+	}
+	return append(es[:i], es[i+1:]...)
 }
 
 // Insert registers a segment; duplicates (same ID) are ignored.
@@ -36,20 +142,102 @@ func (db *DB) Insert(seg *segment.Segment) bool {
 		return false
 	}
 	db.segs[id] = seg
+	e := entry{id: id, seg: seg}
+	first, last := seg.FirstIA(), seg.LastIA()
+	if indexable(first, last) {
+		for _, k := range keysOf(first, last) {
+			db.idx[k] = insertSorted(db.idx[k], e)
+		}
+	} else {
+		db.weird = insertSorted(db.weird, e)
+	}
+	db.gen++
 	return true
+}
+
+// queryKey maps one lookup endpoint onto its bucket key form. ok is
+// false for the one shape the index does not cover (AS set, ISD
+// wildcard), which falls back to the linear reference scan.
+func queryKey(want addr.IA) (addr.IA, bool) {
+	switch {
+	case want.IsZero():
+		return 0, true
+	case want.AS() == addr.WildcardAS:
+		return want, true // already in ISD-wildcard form
+	case want.ISD() == addr.WildcardISD:
+		return 0, false // AS-only wildcard: not indexed
+	default:
+		return want, true
+	}
 }
 
 // Get returns segments whose construction-direction endpoints match
 // (first, last); addr wildcards (zero IA, or wildcard AS within an ISD)
-// match anything.
+// match anything. Results are always sorted by segment ID — callers
+// need no re-sort to make downstream processing deterministic.
 func (db *DB) Get(first, last addr.IA) []*segment.Segment {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	var out []*segment.Segment
-	for _, s := range db.segs {
-		if matches(s.FirstIA(), first) && matches(s.LastIA(), last) {
-			out = append(out, s)
+	fk, fok := queryKey(first)
+	lk, lok := queryKey(last)
+	if !fok || !lok {
+		return db.scanLocked(first, last)
+	}
+	bucket := db.idx[pairKey{fk, lk}]
+	if len(db.weird) == 0 {
+		if len(bucket) == 0 {
+			return nil
 		}
+		out := make([]*segment.Segment, len(bucket))
+		for i, e := range bucket {
+			out[i] = e.seg
+		}
+		return out
+	}
+	// Merge the (rare) unindexed segments in ID order.
+	var out []*segment.Segment
+	w := 0
+	emitWeirdBelow := func(limit string, all bool) {
+		for w < len(db.weird) && (all || db.weird[w].id < limit) {
+			if e := db.weird[w]; matches(e.seg.FirstIA(), first) && matches(e.seg.LastIA(), last) {
+				out = append(out, e.seg)
+			}
+			w++
+		}
+	}
+	for _, e := range bucket {
+		emitWeirdBelow(e.id, false)
+		out = append(out, e.seg)
+	}
+	emitWeirdBelow("", true)
+	return out
+}
+
+// GetScan is the linear-scan reference lookup: it filters every stored
+// segment with the same wildcard matching as Get and sorts the result
+// by segment ID. Property tests and the heap-vs-indexed benchmark
+// ablation compare against it; Get itself only takes this path for the
+// one query shape the index does not cover.
+func (db *DB) GetScan(first, last addr.IA) []*segment.Segment {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.scanLocked(first, last)
+}
+
+func (db *DB) scanLocked(first, last addr.IA) []*segment.Segment {
+	var ids []string
+	for id, s := range db.segs {
+		if matches(s.FirstIA(), first) && matches(s.LastIA(), last) {
+			ids = append(ids, id)
+		}
+	}
+	if ids == nil {
+		return nil
+	}
+	sort.Strings(ids)
+	out := make([]*segment.Segment, len(ids))
+	for i, id := range ids {
+		out[i] = db.segs[id]
 	}
 	return out
 }
@@ -61,7 +249,7 @@ func matches(have, want addr.IA) bool {
 	return have.Matches(want)
 }
 
-// All returns every stored segment.
+// All returns every stored segment, sorted by segment ID.
 func (db *DB) All() []*segment.Segment {
 	return db.Get(0, 0)
 }
@@ -81,10 +269,26 @@ func (db *DB) DeleteExpired(t time.Time) int {
 	defer db.mu.Unlock()
 	n := 0
 	for id, s := range db.segs {
-		if s.Expiry().Before(t) {
-			delete(db.segs, id)
-			n++
+		if !s.Expiry().Before(t) {
+			continue
 		}
+		delete(db.segs, id)
+		first, last := s.FirstIA(), s.LastIA()
+		if indexable(first, last) {
+			for _, k := range keysOf(first, last) {
+				if es := removeSorted(db.idx[k], id); len(es) > 0 {
+					db.idx[k] = es
+				} else {
+					delete(db.idx, k)
+				}
+			}
+		} else {
+			db.weird = removeSorted(db.weird, id)
+		}
+		n++
+	}
+	if n > 0 {
+		db.gen++
 	}
 	return n
 }
@@ -95,4 +299,7 @@ func (db *DB) Clear() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.segs = make(map[string]*segment.Segment)
+	db.idx = make(map[pairKey][]entry)
+	db.weird = nil
+	db.gen++
 }
