@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check alloc-guard doc-check scenario-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control reference reference-pki
+.PHONY: all build test race vet fmt-check alloc-guard doc-check scenario-check snapshot-check verify bench bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control bench-setup reference reference-pki
 
 all: build
 
@@ -16,8 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector is ~20x on a single-core host and the experiments
+# package runs dozens of full campaigns; the default 10m per-package
+# timeout is not enough there.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +33,10 @@ fmt-check:
 # The allocation guards skip under -race (its instrumentation
 # allocates), so verify runs them separately without it. Covers the
 # router fast path (single-packet and batched), the simulator, the
-# warm chain-cache verify path, and the daemon's warm combine-cache
-# lookup.
+# warm chain-cache verify path, the daemon's warm combine-cache
+# lookup, and path lookups on a snapshot-cloned replica.
 alloc-guard:
-	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki ./internal/daemon
+	$(GO) test -count=1 -run ZeroAlloc . ./internal/simnet ./internal/cppki ./internal/daemon ./internal/core
 
 # Every internal package must carry a godoc package comment: the
 # architecture guide (docs/architecture.md) leans on them as the
@@ -66,10 +69,25 @@ scenario-check:
 	@$(GO) run ./cmd/experiments -quick -run fig5 -scenario gen:isds=3,ases=100,seed=1 > /dev/null
 	@echo "scenario-check: OK"
 
-verify: build race alloc-guard vet fmt-check doc-check scenario-check
+# Snapshot round-trip hygiene: snapshot -> serialize -> load -> clone
+# must reproduce the cold campaign byte for byte, across seeds and on
+# both the builtin and a generated scenario.
+snapshot-check:
+	$(GO) test -count=1 -run 'TestSnapshotWarmStartByteIdentical|TestSnapshotFileRoundTrip' ./internal/core ./internal/experiments
+	@echo "snapshot-check: OK"
+
+verify: build race alloc-guard vet fmt-check doc-check scenario-check snapshot-check
 	@echo "verify: OK"
 
-bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control
+bench: bench-micro bench-campaign bench-signing bench-dataplane bench-load bench-control bench-setup
+
+# Replica warm-start: N independent convergences (cold) vs one
+# convergence + N copy-on-write snapshot clones (warm) on a generated
+# 200-AS topology, snapshot-cloned campaigns byte-identity-checked at
+# 1/2/4/8 workers, warm setup speedup gated at >= 5x; refreshes
+# BENCH_setup.json.
+bench-setup:
+	$(GO) run ./cmd/campaignbench -setup -out BENCH_setup.json
 
 bench-micro:
 	$(GO) test -run xxx -bench . -benchmem . ./internal/simnet ./internal/combinator ./internal/segment ./internal/beacon

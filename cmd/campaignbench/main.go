@@ -10,6 +10,15 @@
 // signed/unsigned wall ratio against the 1.3x budget in
 // BENCH_signing.json (Makefile bench-signing target).
 //
+// With -setup it benchmarks campaign replica construction: N
+// independent convergences (cold) against one convergence plus N
+// copy-on-write snapshot clones (warm), gates the warm speedup at 5x,
+// verifies snapshot-cloned campaigns render byte-identical figures at
+// 1/2/4/8 workers, and records BENCH_setup.json (Makefile bench-setup
+// target).
+//
+// -cpuprofile/-memprofile write pprof profiles for any mode.
+//
 // Wall-clock speedup is bounded by the host's core count; the
 // user-CPU-seconds column shows whether the total work stayed flat
 // across worker counts (it must — sharding repartitions the campaign,
@@ -26,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	"sciera/internal/benchutil"
 	"sciera/internal/experiments"
 )
 
@@ -64,19 +74,34 @@ type signingReport struct {
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "campaign seed")
-		quick   = flag.Bool("quick", false, "reduced-scale campaign")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker count for the parallel run")
-		signing = flag.Bool("signing", false, "run the signed-vs-unsigned control-plane ablation instead")
-		out     = flag.String("out", "", "write the JSON report here (default BENCH_campaign.json, or BENCH_signing.json with -signing)")
+		seed     = flag.Int64("seed", 42, "campaign seed")
+		quick    = flag.Bool("quick", false, "reduced-scale campaign")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker count for the parallel run")
+		signing  = flag.Bool("signing", false, "run the signed-vs-unsigned control-plane ablation instead")
+		setup    = flag.Bool("setup", false, "run the replica warm-start (snapshot/clone) setup benchmark instead")
+		setupScn = flag.String("setup-scenario", "gen:isds=3,ases=200,cores=8,seed=1", "scenario the -setup benchmark builds replicas for (cores=8 densifies the core mesh, as in controlbench, so convergence carries realistic weight)")
+		setupW   = flag.Int("setup-workers", 8, "replica count the -setup benchmark amortizes convergence over")
+		out      = flag.String("out", "", "write the JSON report here (default BENCH_campaign.json, BENCH_signing.json with -signing, or BENCH_setup.json with -setup)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *out == "" {
-		*out = "BENCH_campaign.json"
-		if *signing {
+		switch {
+		case *signing:
 			*out = "BENCH_signing.json"
+		case *setup:
+			*out = "BENCH_setup.json"
+		default:
+			*out = "BENCH_campaign.json"
 		}
 	}
+	stop, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+		exit(1)
+	}
+	stopProfiles = stop
 
 	run := func(w int, pki bool) (string, runResult, error) {
 		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: w, WithPKI: pki}
@@ -93,22 +118,26 @@ func main() {
 		return buf.String(), r, err
 	}
 
+	if *setup {
+		runSetup(*setupScn, *seed, *setupW, *out)
+		exit(0)
+	}
 	if *signing {
 		runSigning(run, *seed, *quick, *workers, *out)
-		return
+		exit(0)
 	}
 
 	fmt.Fprintf(os.Stderr, "campaignbench: seed=%d quick=%v host_cpus=%d\n", *seed, *quick, runtime.NumCPU())
 	single, r1, err := run(1, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench: workers=1:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: workers=1: wall %.2fs, user cpu %.2fs\n", r1.WallSeconds, r1.UserCPUSeconds)
 	par, rn, err := run(*workers, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaignbench: workers=%d: %v\n", *workers, err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: workers=%d: wall %.2fs, user cpu %.2fs\n", *workers, rn.WallSeconds, rn.UserCPUSeconds)
 
@@ -127,19 +156,33 @@ func main() {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if !rep.ByteIdentical {
 		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: workers=%d output differs from workers=1 (%d vs %d bytes)\n",
 			*workers, rn.OutputBytes, r1.OutputBytes)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: outputs byte-identical; wall speedup %.2fx; report in %s\n",
 		rep.WallSpeedup, *out)
+	exit(0)
+}
+
+// stopProfiles flushes -cpuprofile/-memprofile output; main installs
+// the real hook once profiling starts.
+var stopProfiles = func() error { return nil }
+
+// exit flushes profiles before terminating — os.Exit skips defers, and
+// the failure paths are exactly where a profile is most wanted.
+func exit(code int) {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench:", err)
+	}
+	os.Exit(code)
 }
 
 // signingBudget is the acceptance ceiling for the signed campaign's
@@ -155,13 +198,13 @@ func runSigning(run func(w int, pki bool) (string, runResult, error), seed int64
 	plain, ru, err := run(workers, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench: unsigned:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: unsigned: wall %.2fs, user cpu %.2fs\n", ru.WallSeconds, ru.UserCPUSeconds)
 	signed, rs, err := run(workers, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench: signed:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: signed:   wall %.2fs, user cpu %.2fs\n", rs.WallSeconds, rs.UserCPUSeconds)
 
@@ -181,21 +224,21 @@ func runSigning(run func(w int, pki bool) (string, runResult, error), seed int64
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "campaignbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if !rep.ByteIdentical {
 		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: signed output differs from unsigned (%d vs %d bytes)\n",
 			rs.OutputBytes, ru.OutputBytes)
-		os.Exit(1)
+		exit(1)
 	}
 	if !rep.WithinBudget {
 		fmt.Fprintf(os.Stderr, "campaignbench: FAIL: signed overhead %.2fx exceeds %.2fx budget\n",
 			rep.SignedOverhead, signingBudget)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "campaignbench: outputs byte-identical; signed overhead %.2fx (budget %.2fx); report in %s\n",
 		rep.SignedOverhead, signingBudget, out)

@@ -1,0 +1,191 @@
+package main
+
+// The -setup mode: benchmark campaign replica construction with and
+// without converged-state snapshots. The cold arm converges every
+// replica independently (the pre-snapshot behavior); the warm arm
+// converges one reference, captures and serializes its snapshot, and
+// copy-on-write clones the remaining replicas from it. The warm arm's
+// total — convergence, snapshot write, and all clones included — must
+// beat the cold arm by the gate floor, and every warm campaign must
+// render the cold golden's exact bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"sciera/internal/experiments"
+	"sciera/internal/scenario"
+)
+
+// gateSetup is the acceptance floor for the warm-start speedup: replica
+// setup via snapshot cloning must be at least this many times faster
+// than independent convergence at the benchmark's worker count.
+const gateSetup = 5.0
+
+type setupReport struct {
+	Timestamp string `json:"timestamp"`
+	HostCPUs  int    `json:"host_cpus"`
+	Scenario  string `json:"scenario"`
+	ASes      int    `json:"ases"`
+	Links     int    `json:"links"`
+	Seed      int64  `json:"seed"`
+	Workers   int    `json:"workers"`
+	// Cold arm: Workers independent convergences, sequential (the
+	// per-replica cost is what every added worker used to pay).
+	ColdSeconds           float64 `json:"cold_seconds"`
+	ColdPerReplicaSeconds float64 `json:"cold_per_replica_seconds"`
+	// Warm arm: one convergence + snapshot write + Workers clones.
+	WarmSeconds            float64 `json:"warm_seconds"`
+	WarmConvergeSeconds    float64 `json:"warm_converge_seconds"`
+	WarmSnapshotSeconds    float64 `json:"warm_snapshot_seconds"`
+	WarmCloneSeconds       float64 `json:"warm_clone_seconds"`
+	ClonePerReplicaSeconds float64 `json:"warm_clone_per_replica_seconds"`
+	SnapshotFileBytes      int64   `json:"snapshot_file_bytes"`
+	SetupSpeedup           float64 `json:"setup_speedup"`
+	GateFloor              float64 `json:"gate_floor"`
+	GatePass               bool    `json:"gate_pass"`
+	// ByteIdentical records, per campaign worker count, whether the
+	// snapshot-cloned quick campaign rendered the cold golden's bytes.
+	ByteIdentical map[string]bool `json:"byte_identical"`
+}
+
+// runSetup executes the warm-start setup benchmark and writes the
+// BENCH_setup.json report. Exits nonzero if byte-identity or the
+// speedup gate fails.
+func runSetup(scenArg string, seed int64, workers int, out string) {
+	s, err := scenario.Resolve(scenArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup:", err)
+		exit(1)
+	}
+	cfg := experiments.Config{Seed: seed, Quick: true, Scenario: s}
+	fmt.Fprintf(os.Stderr, "campaignbench: setup: scenario=%s seed=%d replicas=%d host_cpus=%d\n",
+		scenArg, seed, workers, runtime.NumCPU())
+
+	rep := setupReport{
+		Scenario:  scenArg,
+		Seed:      seed,
+		Workers:   workers,
+		HostCPUs:  runtime.NumCPU(),
+		GateFloor: gateSetup,
+	}
+
+	// Cold arm.
+	t0 := time.Now()
+	for i := 0; i < workers; i++ {
+		n, _, err := experiments.BuildReplica(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaignbench: setup: cold replica:", err)
+			exit(1)
+		}
+		if i == 0 {
+			rep.ASes = len(n.Topo.ASes())
+			rep.Links = len(n.Topo.Links())
+		}
+		n.Close()
+	}
+	rep.ColdSeconds = round2(time.Since(t0).Seconds())
+	rep.ColdPerReplicaSeconds = round2(rep.ColdSeconds / float64(workers))
+	fmt.Fprintf(os.Stderr, "campaignbench: setup: cold: %d replicas in %.2fs (%.2fs each)\n",
+		workers, rep.ColdSeconds, rep.ColdPerReplicaSeconds)
+
+	// Warm arm: converge once, serialize, clone everywhere. The
+	// snapshot write is charged to the warm arm — restart-and-resume is
+	// part of the feature, so its cost is part of the comparison.
+	snapDir, err := os.MkdirTemp("", "campaignbench-setup-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup:", err)
+		exit(1)
+	}
+	defer os.RemoveAll(snapDir)
+	snapPath := filepath.Join(snapDir, "campaign.snapshot.json")
+
+	t0 = time.Now()
+	snap, err := experiments.ConvergeReference(cfg, cfg.ProbePairs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup: converge:", err)
+		exit(1)
+	}
+	rep.WarmConvergeSeconds = round2(time.Since(t0).Seconds())
+	t1 := time.Now()
+	if err := snap.WriteFile(snapPath); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup: snapshot write:", err)
+		exit(1)
+	}
+	rep.WarmSnapshotSeconds = round2(time.Since(t1).Seconds())
+	if fi, err := os.Stat(snapPath); err == nil {
+		rep.SnapshotFileBytes = fi.Size()
+	}
+	t2 := time.Now()
+	for i := 0; i < workers; i++ {
+		n, _, err := experiments.CloneReplica(cfg, snap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaignbench: setup: clone:", err)
+			exit(1)
+		}
+		n.Close()
+	}
+	rep.WarmCloneSeconds = round2(time.Since(t2).Seconds())
+	rep.ClonePerReplicaSeconds = round2(rep.WarmCloneSeconds / float64(workers))
+	rep.WarmSeconds = round2(time.Since(t0).Seconds())
+	fmt.Fprintf(os.Stderr, "campaignbench: setup: warm: converge %.2fs + snapshot %.2fs + %d clones %.2fs = %.2fs\n",
+		rep.WarmConvergeSeconds, rep.WarmSnapshotSeconds, workers, rep.WarmCloneSeconds, rep.WarmSeconds)
+
+	rep.SetupSpeedup = round2(rep.ColdSeconds / rep.WarmSeconds)
+	rep.GatePass = rep.SetupSpeedup >= gateSetup
+
+	// Byte-identity: the cold single-worker campaign is the golden;
+	// snapshot-cloned campaigns at 1/2/4/8 workers must render its
+	// exact bytes. The warm runs load the file written above, so the
+	// full serialize -> load -> clone path is what is being checked.
+	campaign := func(c experiments.Config) string {
+		var buf bytes.Buffer
+		if err := experiments.RunCampaignFigures(&buf, c); err != nil {
+			fmt.Fprintln(os.Stderr, "campaignbench: setup: campaign:", err)
+			exit(1)
+		}
+		return buf.String()
+	}
+	coldCfg := cfg
+	coldCfg.ColdStart = true
+	coldCfg.Workers = 1
+	golden := campaign(coldCfg)
+	rep.ByteIdentical = make(map[string]bool)
+	identical := true
+	for _, w := range []int{1, 2, 4, 8} {
+		warmCfg := cfg
+		warmCfg.Workers = w
+		warmCfg.SnapshotPath = snapPath
+		same := campaign(warmCfg) == golden
+		rep.ByteIdentical[fmt.Sprintf("w%d", w)] = same
+		identical = identical && same
+		fmt.Fprintf(os.Stderr, "campaignbench: setup: byte-identity w=%d: %v\n", w, same)
+	}
+
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup:", err)
+		exit(1)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup:", err)
+		exit(1)
+	}
+	if !identical {
+		fmt.Fprintln(os.Stderr, "campaignbench: setup: FAIL: snapshot-cloned campaign output differs from cold golden")
+		exit(1)
+	}
+	if !rep.GatePass {
+		fmt.Fprintf(os.Stderr, "campaignbench: setup: FAIL: speedup %.2fx below %.1fx gate\n",
+			rep.SetupSpeedup, gateSetup)
+		exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaignbench: setup: byte-identical; setup speedup %.2fx (gate %.1fx); report in %s\n",
+		rep.SetupSpeedup, gateSetup, out)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sciera/internal/addr"
+	"sciera/internal/benchutil"
 	"sciera/internal/combinator"
 	"sciera/internal/core"
 	"sciera/internal/scenario"
@@ -91,8 +92,16 @@ func main() {
 		bestK = flag.Int("bestk", 8, "propagation/registration best-K bound for the pruned arm")
 		quick = flag.Bool("quick", false, "run only the 50-AS size")
 		out   = flag.String("out", "BENCH_control.json", "write the JSON report here")
+		cpu   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mem   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stop, err := benchutil.StartProfiles(*cpu, *mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "controlbench:", err)
+		exit(1)
+	}
+	stopProfiles = stop
 
 	sizes := []int{50, 100, 200}
 	if *quick {
@@ -108,7 +117,7 @@ func main() {
 		sr, err := runSize(ases, *bestK, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "controlbench: %d ASes: %v\n", ases, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "controlbench: %s: round %.2fs best-K vs %.2fs unbounded; lookup scan %.0fns, indexed %.0fns (%.1fx), warm %.0fns (%.1fx)\n",
 			sr.Scenario, sr.Bounded.WallSeconds, sr.Unbounded.WallSeconds,
@@ -122,19 +131,32 @@ func main() {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "controlbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "controlbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if !rep.GatePass {
 		fmt.Fprintf(os.Stderr, "controlbench: FAIL: warm lookup %.1fx scan at %d ASes, floor %.1fx\n",
 			rep.GateAchieved, sizes[len(sizes)-1], gateSpeedup)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "controlbench: warm lookup %.1fx scan at %d ASes (floor %.1fx); report in %s\n",
 		rep.GateAchieved, sizes[len(sizes)-1], gateSpeedup, *out)
+	exit(0)
+}
+
+// stopProfiles flushes -cpuprofile/-memprofile output; main installs
+// the real hook once profiling starts.
+var stopProfiles = func() error { return nil }
+
+// exit flushes profiles before terminating (os.Exit skips defers).
+func exit(code int) {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "controlbench:", err)
+	}
+	os.Exit(code)
 }
 
 // runSize benchmarks one generated topology size: a best-K and an

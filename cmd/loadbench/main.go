@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"sciera/internal/benchutil"
 	"sciera/internal/core"
 	"sciera/internal/scenario"
 	_ "sciera/internal/sciera" // registers the builtin "sciera" scenario
@@ -158,16 +159,24 @@ func main() {
 	out := flag.String("out", "BENCH_load.json", "output JSON path")
 	quick := flag.Bool("quick", false, "reduced-scale smoke run")
 	scen := flag.String("scenario", "loadbench", "scenario supplying topology and traffic parameters: builtin name, gen:<spec>, or file path")
+	cpu := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stop, err := benchutil.StartProfiles(*cpu, *mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		exit(1)
+	}
+	stopProfiles = stop
 
 	s, err := scenario.Resolve(*scen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if s.Traffic == nil {
 		fmt.Fprintf(os.Stderr, "loadbench: scenario %q has no traffic section\n", s.Name)
-		os.Exit(1)
+		exit(1)
 	}
 
 	// The loadbench builtin's defaults hold >100k flows in flight from
@@ -205,7 +214,7 @@ func main() {
 		r, _, fp, err := runOnce(s, kind, w)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "loadbench: %v: %.1fs wall, %.0f events/sec, peak pending %d, peak active flows %d\n",
 			kind, r.WallSeconds, r.EventsPerSec, r.PeakPendingEvents, r.PeakActiveFlows)
@@ -225,19 +234,32 @@ func main() {
 
 	if !rep.IdenticalWorkload {
 		fmt.Fprintln(os.Stderr, "loadbench: FATAL: schedulers disagree on workload outcome")
-		os.Exit(1)
+		exit(1)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("loadbench: calendar %.2fx events/sec vs heap (peak pending %d); wrote %s\n",
 		rep.CalendarSpeedup, calRow.PeakPendingEvents, *out)
+	exit(0)
+}
+
+// stopProfiles flushes -cpuprofile/-memprofile output; main installs
+// the real hook once profiling starts.
+var stopProfiles = func() error { return nil }
+
+// exit flushes profiles before terminating (os.Exit skips defers).
+func exit(code int) {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+	}
+	os.Exit(code)
 }

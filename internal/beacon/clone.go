@@ -1,0 +1,29 @@
+package beacon
+
+import (
+	"sciera/internal/addr"
+	"sciera/internal/pathdb"
+)
+
+// Clone returns a copy-on-write clone of the registry: every segment
+// store is cloned with pathdb.CloneShared, so the clone shares the
+// original's immutable segments (and index containers) until either
+// side mutates. The registry IS the terminal beacon state of a
+// converged network — beacon stores are ephemeral per Runner.Run — so
+// cloning the registry is all a converged-state snapshot needs to hand
+// a new replica the full control-plane view without re-beaconing.
+//
+// The clone's stores carry fresh identities, so their Stamp tokens
+// never alias the original's; memoized path combinations keyed on
+// stamps must be re-keyed against the clone's own stores.
+func (reg *Registry) Clone() *Registry {
+	c := &Registry{
+		Up:   make(map[addr.IA]*pathdb.DB, len(reg.Up)),
+		Core: reg.Core.CloneShared(),
+		Down: reg.Down.CloneShared(),
+	}
+	for ia, db := range reg.Up {
+		c.Up[ia] = db.CloneShared()
+	}
+	return c
+}

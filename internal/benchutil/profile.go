@@ -1,0 +1,51 @@
+// Package benchutil holds small helpers shared by the benchmark
+// commands (campaignbench, controlbench, loadbench).
+package benchutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath (when non-empty) and
+// returns a stop function that finishes the CPU profile and writes a
+// heap profile to memPath (when non-empty). Call the stop function
+// before process exit — benches os.Exit on failure paths, so call it
+// explicitly rather than deferring past an Exit.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("benchutil: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("benchutil: heap profile: %w", err)
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("benchutil: heap profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -173,6 +173,14 @@ func (s *Service) pathsGen(reg *beacon.Registry) uint64 {
 	return g
 }
 
+// PathsGen returns the generation token "paths" responses currently
+// carry for this AS. Warm-start restores use it to pre-seed daemon
+// combine memos so a daemon's first conditional fetch per destination
+// resolves NotModified.
+func (s *Service) PathsGen() uint64 {
+	return s.pathsGen(s.Registry())
+}
+
 func (s *Service) servePaths(req *Request, resp *Response) {
 	reg := s.Registry()
 	resp.Gen = s.pathsGen(reg)

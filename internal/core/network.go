@@ -115,6 +115,11 @@ type Network struct {
 	// and (in sharded campaigns) across replicas of this network.
 	chains *cppki.ChainCache
 	rng    *rand.Rand
+	// rngSrc is the counting wrapper under rng: a pure pass-through
+	// that tallies generator state advances, so a converged-state
+	// snapshot can record the RNG position and a warm-started clone can
+	// fast-forward to it (see snapshot.go).
+	rngSrc *countingSource
 
 	// telem/trace are the network-wide metric registry and packet-trace
 	// ring (nil with Options.NoTelemetry). beaconMetrics persists across
@@ -137,6 +142,14 @@ type Network struct {
 	pathsMu    sync.Mutex
 	pathsReg   *beacon.Registry
 	pathsCache map[[2]addr.IA]pathsCacheEntry
+
+	// warmPaths/warmReg carry the snapshot's memoized combinations past
+	// InstallSnapshot so NewDaemon can pre-seed daemon combine memos —
+	// but only while the installed registry is still current (warmReg
+	// pins the epoch). Written once at install, before any campaign
+	// concurrency starts; read-only afterwards.
+	warmPaths map[[2]addr.IA][]*combinator.Path
+	warmReg   *beacon.Registry
 }
 
 // pathsCacheEntry is one memoized path combination, valid while the
@@ -146,11 +159,14 @@ type pathsCacheEntry struct {
 	paths          []*combinator.Path
 }
 
-// Build assembles the network: keys, PKI (optional), beaconing, routers.
-func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Network, error) {
+// newNetwork initializes the network shell — struct, telemetry wiring
+// and forwarding keys — everything Build and BuildWarm share before
+// their paths diverge.
+func newNetwork(topo *topology.Topology, transport simnet.Network, opts Options) (*Network, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
+	src := newCountingSource(opts.Seed)
 	n := &Network{
 		Topo:      topo,
 		Transport: transport,
@@ -160,7 +176,8 @@ func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Ne
 		keys:      make(map[addr.IA]scrypto.HopKey),
 		signers:   make(map[addr.IA]*cppki.Signer),
 		trcs:      cppki.NewStore(),
-		rng:       rand.New(rand.NewSource(opts.Seed)),
+		rng:       rand.New(src),
+		rngSrc:    src,
 	}
 	if n.Opts.Now.IsZero() {
 		n.Opts.Now = transport.Now()
@@ -175,9 +192,17 @@ func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Ne
 			sim.RegisterTelemetry(n.telem)
 		}
 	}
-
 	for _, as := range topo.ASes() {
 		n.keys[as.IA] = scrypto.DeriveHopKey([]byte(fmt.Sprintf("as-secret-%s-%d", as.IA, opts.Seed)), 0)
+	}
+	return n, nil
+}
+
+// Build assembles the network: keys, PKI (optional), beaconing, routers.
+func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Network, error) {
+	n, err := newNetwork(topo, transport, opts)
+	if err != nil {
+		return nil, err
 	}
 	if opts.WithPKI {
 		if err := n.provisionPKI(); err != nil {
@@ -185,6 +210,30 @@ func Build(topo *topology.Topology, transport simnet.Network, opts Options) (*Ne
 		}
 	}
 	if err := n.refreshControlPlane(); err != nil {
+		return nil, err
+	}
+	if err := n.buildDataPlane(); err != nil {
+		return nil, err
+	}
+	if err := n.startControlServices(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// BuildWarm assembles a network shell for warm-starting from a
+// converged-state snapshot: keys, routers and control services come up
+// exactly as under Build — the transport-operation sequence (address
+// and port allocation) is identical, because PKI provisioning and
+// beaconing never touch the transport — but no PKI is provisioned and
+// no beaconing runs. The returned network serves no paths until
+// InstallSnapshot supplies the registry, trust material and RNG
+// position; callers add runtime links (AddRuntimeLink) in between,
+// mirroring the cold build calendar, so the topology matches the
+// snapshot's at install time.
+func BuildWarm(topo *topology.Topology, transport simnet.Network, opts Options) (*Network, error) {
+	n, err := newNetwork(topo, transport, opts)
+	if err != nil {
 		return nil, err
 	}
 	if err := n.buildDataPlane(); err != nil {
@@ -239,6 +288,22 @@ func (n *Network) NewDaemon(ia addr.IA) (*daemon.Daemon, error) {
 	}
 	if n.telem != nil {
 		d.RegisterTelemetry(n.telem)
+	}
+	// On a warm-started network, pre-seed the daemon's combine memo
+	// with the snapshot's combinations for this AS — the daemon's first
+	// fetch per destination then resolves NotModified against a warm
+	// memo instead of decoding and recombining every segment. Valid
+	// only while the installed registry is still the current one (an
+	// incident refresh moves the generation token, and the service
+	// would simply serve fresh segments as usual).
+	if n.warmPaths != nil && n.Registry() == n.warmReg {
+		if gen := svc.PathsGen(); gen != 0 {
+			for k, paths := range n.warmPaths {
+				if k[0] == ia {
+					d.WarmCombine(k[1], gen, paths)
+				}
+			}
+		}
 	}
 	return d, nil
 }
@@ -338,8 +403,7 @@ func (n *Network) refreshControlPlane() error {
 	if n.beaconMetrics == nil {
 		n.beaconMetrics = &beacon.RunnerMetrics{}
 		if n.Opts.WithPKI {
-			n.beaconMetrics.VerifyLatency = telemetry.NewHistogram(
-				0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10)
+			n.beaconMetrics.VerifyLatency = newVerifyLatencyHistogram()
 		}
 		if n.telem != nil {
 			n.beaconMetrics.Register(n.telem)
@@ -412,10 +476,13 @@ func (n *Network) buildDataPlane() error {
 		n.routers[ia] = r
 	}
 	// Wire both ends of every link: one underlay socket per interface,
-	// as in production border routers.
-	empty := make(map[wireKey]*topology.Link)
-	n.wires.Store(&empty)
-	for _, l := range n.Topo.Links() {
+	// as in production border routers. The wire map is built once and
+	// published wholesale — addWire's copy-on-write republish is per
+	// runtime link, and paying it per built link would make replica
+	// construction quadratic in the link count.
+	links := n.Topo.Links()
+	wires := make(map[wireKey]*topology.Link, 2*len(links))
+	for _, l := range links {
 		ra := n.routers[l.A.IA]
 		rb := n.routers[l.B.IA]
 		addrA, err := ra.AddInterface(l.A.IfID)
@@ -432,8 +499,10 @@ func (n *Network) buildDataPlane() error {
 		if err := rb.ConnectInterface(l.B.IfID, addrA); err != nil {
 			return err
 		}
-		n.addWire(addrA, addrB, l)
+		wires[wireKey{addrA, addrB}] = l
+		wires[wireKey{addrB, addrA}] = l
 	}
+	n.wires.Store(&wires)
 	// On the simulator, impose per-link propagation delays, per-link
 	// serialization/queueing when a bandwidth cap is set, and drop
 	// traffic crossing downed circuits mid-flight.

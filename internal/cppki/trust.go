@@ -1,0 +1,23 @@
+package cppki
+
+import "sciera/internal/addr"
+
+// TrustMaterial bundles the trust state of a provisioned control plane:
+// the TRC store, the per-AS signers, and the verified-chain cache. A
+// converged-state snapshot captures the bundle by reference and hands
+// it to every cloned replica — all three components are safe to share:
+// the Store is written only during provisioning and read-only
+// afterwards, Signers are stateless (ECDSA signing is concurrency-safe
+// and keeps no per-call state), and the ChainCache is concurrency-safe
+// by construction (it already serves concurrent campaign workers).
+//
+// Private keys never leave the process: the serializable snapshot form
+// deliberately omits TrustMaterial, and a snapshot loaded from disk
+// provisions a fresh PKI instead (which cannot change figure output —
+// PKI material draws from crypto/rand, never the seeded control-plane
+// RNG, and an honest network admits the same beacons signed or not).
+type TrustMaterial struct {
+	TRCs    *Store
+	Signers map[addr.IA]*Signer
+	Chains  *ChainCache
+}

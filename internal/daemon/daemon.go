@@ -266,6 +266,24 @@ func (d *Daemon) combineWarm(dst addr.IA, gen uint64, now time.Time) ([]*combina
 	return paths, true
 }
 
+// WarmCombine pre-seeds the combine memo for dst with an
+// already-combined path set served at store generation gen, filtering
+// expired paths exactly as a fresh fetch would (into a private slice —
+// the input may be shared across replicas and is never mutated). A
+// warm-started network calls it at daemon creation so the daemon's
+// first conditional fetch per destination resolves NotModified against
+// this entry instead of decoding and recombining every segment.
+func (d *Daemon) WarmCombine(dst addr.IA, gen uint64, paths []*combinator.Path) {
+	now := d.net.Now()
+	fresh := make([]*combinator.Path, 0, len(paths))
+	for _, p := range paths {
+		if p.Expiry.After(now) {
+			fresh = append(fresh, p)
+		}
+	}
+	d.storeCombine(dst, gen, fresh, now)
+}
+
 // storeCombine memoizes a freshly combined (and expiry-filtered) path
 // set under the control service's generation token.
 func (d *Daemon) storeCombine(dst addr.IA, gen uint64, paths []*combinator.Path, now time.Time) {

@@ -56,6 +56,19 @@ type Config struct {
 	// any value produces byte-identical campaigns — only wall time
 	// changes. 0 or 1 verifies inline.
 	RouterBatchWorkers int
+	// ColdStart forces every campaign worker to converge its own
+	// private replica independently — the pre-snapshot behavior, kept
+	// as the warm-start ablation arm. By default a multi-worker
+	// campaign converges one reference replica, snapshots it, and
+	// constructs all workers by copy-on-write cloning (see shard.go);
+	// both paths are byte-identical.
+	ColdStart bool
+	// SnapshotPath, when set, persists the campaign's converged-state
+	// snapshot: if the file exists it is loaded (restart-and-resume —
+	// no replica converges at all), otherwise the reference replica
+	// converges once and the snapshot is written there. Forces the
+	// warm-start path even at one worker. Ignored with ColdStart.
+	SnapshotPath string
 }
 
 // scn resolves the config's scenario, defaulting to the built-in
@@ -90,6 +103,17 @@ func BuildNetworkOpts(seed int64, withPKI bool) (*core.Network, *simnet.Sim, err
 	return buildNetworkCfg(Config{Seed: seed, WithPKI: withPKI})
 }
 
+// netOptions assembles the core.Options a campaign or figure network
+// is built with; cold builds and warm clones must agree on them.
+func (c Config) netOptions(s *scenario.Scenario) core.Options {
+	return core.Options{
+		Seed:               c.Seed,
+		BestPerOrigin:      s.Campaign.BestPerOrigin,
+		WithPKI:            c.WithPKI,
+		RouterBatchWorkers: c.RouterBatchWorkers,
+	}
+}
+
 // buildNetworkCfg constructs the scenario's network a campaign or
 // figure run uses, honoring the config's network-affecting knobs.
 func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
@@ -99,12 +123,7 @@ func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
 		return nil, nil, err
 	}
 	sim := simnet.NewSim(s.Campaign.Start())
-	n, err := core.Build(topo, sim, core.Options{
-		Seed:               cfg.Seed,
-		BestPerOrigin:      s.Campaign.BestPerOrigin,
-		WithPKI:            cfg.WithPKI,
-		RouterBatchWorkers: cfg.RouterBatchWorkers,
-	})
+	n, err := core.Build(topo, sim, cfg.netOptions(s))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,12 +138,28 @@ func buildNetworkCfg(cfg Config) (*core.Network, *simnet.Sim, error) {
 // replica — topology, beaconing and path state are seed-reproducible,
 // which is what makes pair-sharding exact.
 func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
-	s := cfg.scn()
 	n, _, err := buildNetworkCfg(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	var events []multiping.IncidentEvent
+	events, err := applyCampaignCalendar(cfg, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := n.RefreshControlPlane(); err != nil {
+		return nil, nil, err
+	}
+	return n, events, nil
+}
+
+// applyCampaignCalendar prepares a freshly built replica for the
+// campaign: it compiles the scenario's incident calendar into events
+// and splices the mid-campaign runtime links into the topology (built
+// now, held down until their activation events). Cold builds refresh
+// the control plane afterwards; warm clones install the snapshot
+// instead — the snapshot was captured after that very refresh.
+func applyCampaignCalendar(cfg Config, n *core.Network) ([]multiping.IncidentEvent, error) {
+	s := cfg.scn()
 	resolve := n.Topo.LinkIDByName
 	incs := s.Incidents
 	plain := make([]struct {
@@ -145,9 +180,9 @@ func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent,
 			FlapDowntime time.Duration
 		}{inc.Name, inc.Links, inc.Start(), inc.Duration(), inc.FlapPeriod(), inc.FlapDowntime()}
 	}
-	events, err = multiping.BuildEvents(n.Topo, resolve, plain)
+	events, err := multiping.BuildEvents(n.Topo, resolve, plain)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for _, nl := range s.NewLinks {
 		// Runtime-circuit latencies were resolved by the scenario
@@ -155,21 +190,18 @@ func buildCampaignNetwork(cfg Config) (*core.Network, []multiping.IncidentEvent,
 		// detour modeling).
 		typ, err := scenario.RuntimeLinkType(nl.Type)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: new link %q: %w", nl.Name, err)
+			return nil, fmt.Errorf("experiments: new link %q: %w", nl.Name, err)
 		}
 		l, err := n.AddRuntimeLink(nl.A, nl.B, typ, nl.LatencyMS, nl.Name)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		_ = n.Topo.SetLinkUp(l.ID, false)
 		events = append(events, multiping.IncidentEvent{
 			At: nl.Activate(), LinkID: l.ID, Up: true, Name: nl.Name,
 		})
 	}
-	if err := n.RefreshControlPlane(); err != nil {
-		return nil, nil, err
-	}
-	return n, events, nil
+	return events, nil
 }
 
 // RunCampaign executes the Section 5.4 measurement campaign, replaying

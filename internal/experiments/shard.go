@@ -51,7 +51,17 @@ type shardResult struct {
 // runShardedCampaign partitions the campaign across cfg.Workers
 // goroutine workers, each owning a private seeded replica of the
 // network, and merges the partial datasets deterministically. The
-// returned network is worker 0's replica in its post-campaign state.
+// returned network is worker 0's replica in its post-campaign state —
+// with warm start every worker's replica (worker 0 included) is
+// constructed through the identical snapshot/clone path, so which one
+// is returned is immaterial.
+//
+// Replica construction is warm by default: one reference replica
+// converges (or a snapshot file loads, with cfg.SnapshotPath), and all
+// workers clone from the snapshot copy-on-write. A single-worker run
+// without a snapshot path converges directly — there is nothing to
+// amortize. cfg.ColdStart forces independent convergence everywhere
+// (the ablation arm); both paths are byte-identical.
 func runShardedCampaign(cfg Config, campaignCfg multiping.Config) (*multiping.Dataset, *core.Network, error) {
 	pairs := multiping.AllPairs(campaignCfg.Vantage, campaignCfg.Targets)
 	if len(pairs) == 0 {
@@ -59,13 +69,21 @@ func runShardedCampaign(cfg Config, campaignCfg multiping.Config) (*multiping.Da
 	}
 	shards := planShards(pairs, cfg.Workers)
 
+	var snap *core.Snapshot
+	if !cfg.ColdStart && (len(shards) > 1 || cfg.SnapshotPath != "") {
+		var err error
+		if snap, err = campaignSnapshot(cfg, pairs); err != nil {
+			return nil, nil, err
+		}
+	}
+
 	results := make([]shardResult, len(shards))
 	var wg sync.WaitGroup
 	for i, shard := range shards {
 		wg.Add(1)
 		go func(i int, shard []multiping.ProbePair) {
 			defer wg.Done()
-			results[i] = runShard(cfg, campaignCfg, shard)
+			results[i] = runShard(cfg, campaignCfg, shard, snap)
 		}(i, shard)
 	}
 	wg.Wait()
@@ -103,8 +121,9 @@ func runShardedCampaign(cfg Config, campaignCfg multiping.Config) (*multiping.Da
 		}
 	}
 
-	// Worker 0's replica is returned for post-campaign inspection; the
-	// other replicas are done once their telemetry is harvested.
+	// Worker 0's replica is returned for post-campaign inspection (all
+	// replicas are constructed identically, so any would do); the
+	// others are done once their telemetry is harvested.
 	for _, r := range results[1:] {
 		r.n.Close()
 	}
@@ -112,11 +131,22 @@ func runShardedCampaign(cfg Config, campaignCfg multiping.Config) (*multiping.Da
 }
 
 // runShard executes one worker's slice of the campaign on a fresh
-// network replica. The replica replays the full incident calendar even
-// for pairs it does not probe, so its control-plane state (and the
-// beaconing RNG consumption) matches the unsharded run exactly.
-func runShard(cfg Config, campaignCfg multiping.Config, shard []multiping.ProbePair) shardResult {
-	n, events, err := buildCampaignNetwork(cfg)
+// network replica — cloned from the snapshot when one is provided,
+// independently converged otherwise. The replica replays the full
+// incident calendar even for pairs it does not probe, so its
+// control-plane state (and the beaconing RNG consumption) matches the
+// unsharded run exactly.
+func runShard(cfg Config, campaignCfg multiping.Config, shard []multiping.ProbePair, snap *core.Snapshot) shardResult {
+	var (
+		n      *core.Network
+		events []multiping.IncidentEvent
+		err    error
+	)
+	if snap != nil {
+		n, events, err = CloneReplica(cfg, snap)
+	} else {
+		n, events, err = buildCampaignNetwork(cfg)
+	}
 	if err != nil {
 		return shardResult{err: err}
 	}

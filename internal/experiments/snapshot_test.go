@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sciera/internal/multiping"
+	"sciera/internal/scenario"
+)
+
+// renderCampaign runs the full quick campaign for a config and returns
+// the dataset plus the rendered bytes of every figure it feeds — the
+// byte-identity unit of comparison.
+func renderCampaign(t *testing.T, c Config) (*multiping.Dataset, string) {
+	t.Helper()
+	ds, n, err := RunCampaign(c)
+	if err != nil {
+		t.Fatalf("campaign (workers=%d cold=%v snap=%q): %v", c.Workers, c.ColdStart, c.SnapshotPath, err)
+	}
+	defer n.Close()
+	duration, interval, _ := c.campaign()
+	s := c.scn()
+	var buf bytes.Buffer
+	Figure5(&buf, ds)
+	Figure6(&buf, s, ds)
+	Figure7(&buf, s, ds)
+	Figure8(&buf, s, ds)
+	Figure9(&buf, s, ds, duration, interval)
+	Figure10a(&buf, ds)
+	return ds, buf.String()
+}
+
+func sameDataset(t *testing.T, label string, got, want *multiping.Dataset) {
+	t.Helper()
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("%s: %d records, want %d", label, len(got.Records), len(want.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != want.Records[i] {
+			t.Fatalf("%s: record %d differs:\n  %+v\n  %+v", label, i, got.Records[i], want.Records[i])
+		}
+	}
+	if got.Probes != want.Probes {
+		t.Fatalf("%s: probes = %d, want %d", label, got.Probes, want.Probes)
+	}
+}
+
+// TestSnapshotWarmStartByteIdentical is the snapshot round-trip
+// property test: for multiple seeds on both the builtin SCIERA scenario
+// and a generated topology, a campaign whose replicas are (a) cloned
+// in-memory from a converged reference, (b) cloned from a snapshot the
+// run just serialized to disk, and (c) cloned from that snapshot file
+// loaded cold (restart-and-resume, nothing converges at all) must all
+// be byte-identical to the fully cold independent-convergence run.
+func TestSnapshotWarmStartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many quick campaigns")
+	}
+	gen, err := scenario.Resolve("gen:isds=2,ases=24,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		scn  *scenario.Scenario
+	}{
+		{"sciera", nil},
+		{"gen24", gen},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{7, 11} {
+			t.Run(tc.name, func(t *testing.T) {
+				base := Config{Seed: seed, Quick: true, Scenario: tc.scn}
+
+				cold := base
+				cold.ColdStart = true
+				cold.Workers = 1
+				goldenDS, goldenOut := renderCampaign(t, cold)
+
+				// In-memory warm start (the multi-worker default).
+				warm := base
+				warm.Workers = 3
+				ds, out := renderCampaign(t, warm)
+				sameDataset(t, "warm in-memory", ds, goldenDS)
+				if out != goldenOut {
+					t.Fatal("warm in-memory figures differ from cold golden")
+				}
+
+				// Serialize: first run with a snapshot path converges the
+				// reference and writes the file.
+				snapPath := filepath.Join(t.TempDir(), "campaign.snapshot.json")
+				saved := base
+				saved.Workers = 2
+				saved.SnapshotPath = snapPath
+				ds, out = renderCampaign(t, saved)
+				sameDataset(t, "warm save", ds, goldenDS)
+				if out != goldenOut {
+					t.Fatal("snapshot-saving run figures differ from cold golden")
+				}
+				if fi, err := os.Stat(snapPath); err != nil || fi.Size() == 0 {
+					t.Fatalf("snapshot file not written: %v", err)
+				}
+
+				// Load: second run finds the file and clones every replica
+				// from it — no convergence anywhere, still byte-identical.
+				// Single worker on purpose: the snapshot path forces the
+				// warm path even at w=1.
+				loaded := base
+				loaded.Workers = 1
+				loaded.SnapshotPath = snapPath
+				ds, out = renderCampaign(t, loaded)
+				sameDataset(t, "warm load", ds, goldenDS)
+				if out != goldenOut {
+					t.Fatal("snapshot-loading run figures differ from cold golden")
+				}
+			})
+		}
+	}
+}

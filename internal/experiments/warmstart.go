@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"os"
+
+	"sciera/internal/addr"
+	"sciera/internal/core"
+	"sciera/internal/multiping"
+	"sciera/internal/simnet"
+)
+
+// Campaign warm-start: instead of every sharded worker re-converging a
+// private replica (two full beaconing runs each — the dominant setup
+// cost on generated hundreds-of-AS topologies), one reference replica
+// converges, its control-plane state is captured as a core.Snapshot,
+// and every worker replica — including worker 0 — is constructed by
+// copy-on-write cloning from it. Byte-identity at any worker count is
+// preserved: see the determinism argument in internal/core/snapshot.go
+// and docs/architecture.md.
+
+// BuildReplica constructs one campaign-ready replica the cold way —
+// full independent convergence (the pre-snapshot path). Exported for
+// the setup benchmark's baseline arm and the ColdStart ablation.
+func BuildReplica(cfg Config) (*core.Network, []multiping.IncidentEvent, error) {
+	return buildCampaignNetwork(cfg)
+}
+
+// ConvergeReference converges one reference replica, primes its path
+// combination memo over the given probe pairs, captures the snapshot,
+// and closes the replica. The snapshot is what every worker clones
+// from.
+func ConvergeReference(cfg Config, pairs []multiping.ProbePair) (*core.Snapshot, error) {
+	n, _, err := buildCampaignNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	n.WarmPaths(probePairKeys(pairs))
+	return n.Snapshot()
+}
+
+// CloneReplica constructs one campaign replica from a snapshot: the
+// warm network shell comes up with the identical transport-operation
+// sequence as a cold build, the runtime-link calendar is spliced in,
+// and the snapshot is installed instead of re-converging.
+func CloneReplica(cfg Config, snap *core.Snapshot) (*core.Network, []multiping.IncidentEvent, error) {
+	s := cfg.scn()
+	topo, err := s.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sim := simnet.NewSim(s.Campaign.Start())
+	n, err := core.BuildWarm(topo, sim, cfg.netOptions(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := applyCampaignCalendar(cfg, n)
+	if err != nil {
+		n.Close()
+		return nil, nil, err
+	}
+	if err := n.InstallSnapshot(snap); err != nil {
+		n.Close()
+		return nil, nil, err
+	}
+	return n, events, nil
+}
+
+// campaignSnapshot resolves the snapshot a warm-started campaign clones
+// from: loaded from cfg.SnapshotPath when the file exists
+// (restart-and-resume — nothing converges at all), otherwise captured
+// from a freshly converged reference replica and, when a path is set,
+// persisted there for the next run.
+func campaignSnapshot(cfg Config, pairs []multiping.ProbePair) (*core.Snapshot, error) {
+	if cfg.SnapshotPath != "" {
+		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
+			return core.LoadSnapshotFile(cfg.SnapshotPath)
+		}
+	}
+	snap, err := ConvergeReference(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SnapshotPath != "" {
+		if err := snap.WriteFile(cfg.SnapshotPath); err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// ProbePairs enumerates the campaign's canonical probe pairs for the
+// config's scenario and scale — what runShardedCampaign shards, and
+// what the setup benchmark warms the reference over.
+func (c Config) ProbePairs() []multiping.ProbePair {
+	_, _, vantage := c.campaign()
+	return multiping.AllPairs(vantage, nil)
+}
+
+// probePairKeys projects probe pairs onto the (src, dst) keys the path
+// memo is warmed over.
+func probePairKeys(pairs []multiping.ProbePair) [][2]addr.IA {
+	keys := make([][2]addr.IA, len(pairs))
+	for i, p := range pairs {
+		keys[i] = [2]addr.IA{p.Src, p.Dst}
+	}
+	return keys
+}

@@ -54,6 +54,11 @@ type DB struct {
 	// components (never produced by beaconing); they bypass the index
 	// and are merged into every lookup by a filtered scan.
 	weird []entry
+	// cow marks the containers as shared with a CloneShared sibling:
+	// the first mutation (Insert, DeleteExpired) copies the maps and
+	// bucket slices — never the segments, which are immutable — before
+	// touching them. Reads are unaffected.
+	cow bool
 }
 
 // New creates an empty DB.
@@ -82,6 +87,49 @@ func (db *DB) Stamp() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.id<<24 | db.gen&0xffffff
+}
+
+// CloneShared returns a copy-on-write clone: a distinct store (fresh
+// identity, so Stamp tokens never alias) that shares this store's
+// segment containers until either side mutates. The segments themselves
+// — the heavy immutable bytes — are never copied, only the index
+// containers, and only lazily on first divergence: the same
+// prefix-sharing discipline Segment.CloneForExtend applies to AS-entry
+// arrays, lifted to whole stores. Converged-state snapshots use it to
+// stamp out worker replicas without re-running beaconing.
+func (db *DB) CloneShared() *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cow = true
+	return &DB{
+		id:    nextDBID.Add(1),
+		gen:   db.gen,
+		segs:  db.segs,
+		idx:   db.idx,
+		weird: db.weird,
+		cow:   true,
+	}
+}
+
+// ensureOwned makes the containers private before a mutation. Must be
+// called with mu held. Bucket slices are copied at exact length into
+// fresh arrays, so a sibling's in-place insertSorted/removeSorted can
+// never write through shared backing storage.
+func (db *DB) ensureOwned() {
+	if !db.cow {
+		return
+	}
+	segs := make(map[string]*segment.Segment, len(db.segs))
+	for id, s := range db.segs {
+		segs[id] = s
+	}
+	idx := make(map[pairKey][]entry, len(db.idx))
+	for k, es := range db.idx {
+		idx[k] = append([]entry(nil), es...)
+	}
+	db.segs, db.idx = segs, idx
+	db.weird = append([]entry(nil), db.weird...)
+	db.cow = false
 }
 
 // isdKey is the ISD-wildcard form of an IA (same ISD, AS zero).
@@ -141,6 +189,7 @@ func (db *DB) Insert(seg *segment.Segment) bool {
 	if _, ok := db.segs[id]; ok {
 		return false
 	}
+	db.ensureOwned()
 	db.segs[id] = seg
 	e := entry{id: id, seg: seg}
 	first, last := seg.FirstIA(), seg.LastIA()
@@ -268,10 +317,14 @@ func (db *DB) DeleteExpired(t time.Time) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	n := 0
+	// Ranging over the pre-copy map while deleting from the owned copy
+	// is fine: ensureOwned replaces db.segs, the loop keeps iterating
+	// the original, and both hold the same entries.
 	for id, s := range db.segs {
 		if !s.Expiry().Before(t) {
 			continue
 		}
+		db.ensureOwned()
 		delete(db.segs, id)
 		first, last := s.FirstIA(), s.LastIA()
 		if indexable(first, last) {
@@ -301,5 +354,6 @@ func (db *DB) Clear() {
 	db.segs = make(map[string]*segment.Segment)
 	db.idx = make(map[pairKey][]entry)
 	db.weird = nil
+	db.cow = false // fresh containers are owned by construction
 	db.gen++
 }
